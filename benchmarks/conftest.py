@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper
+(reduced repetition counts keep wall time reasonable) and asserts its
+headline qualitative result, so ``pytest benchmarks/ --benchmark-only``
+re-derives every published artifact in one run.
+"""
+
+import pytest
+
+from repro.core import spp1000
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The machine the paper measured: 2 hypernodes, 16 CPUs."""
+    return spp1000(n_hypernodes=2)

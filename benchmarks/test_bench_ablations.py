@@ -1,0 +1,14 @@
+"""Benchmark: the §6 ablation suite."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ablations(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablations",), kwargs={"config": config},
+        rounds=3, iterations=1)
+    assert 5.0 <= result.data["remote_local_miss_ratio"] <= 12.0
+    assert 2.0 <= result.data["cache_residency_ratio"] <= 6.0
+    assert result.data["os_interference_overhead"] > 0.0
+    effs = dict(result.data["ring_sensitivity"])
+    assert effs[0.5] > effs[2.0]   # cheaper SCI -> better efficiency

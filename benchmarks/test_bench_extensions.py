@@ -1,0 +1,29 @@
+"""Benchmarks: the beyond-the-paper experiments (scale128, memclass)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_scale128(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("scale128",), rounds=2, iterations=1)
+    at_128 = {s.label: s.y[-1] for s in result.series}
+    assert at_128["PPM 480x960"] > 90.0
+    assert all(speedup > 10.0 for speedup in at_128.values())
+
+
+def test_bench_contention(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("contention",), kwargs={"config": config},
+        rounds=2, iterations=1)
+    # paper [24]: little degradation as traffic increases
+    assert result.data["local_degradation"] < 0.40
+    assert result.data["cross_degradation"] < 0.40
+
+
+def test_bench_memclass(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("memclass",), kwargs={"config": config},
+        rounds=2, iterations=1)
+    i16 = result.data["processors"].index(16)
+    assert result.data["block_shared"][i16] > \
+        result.data["far_shared"][i16] > result.data["near_shared"][i16]

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 2 (fork-join cost)."""
+
+from repro.experiments import run_experiment
+
+THREADS = [2, 4, 6, 8, 10, 12, 16]
+
+
+def test_bench_fig2_forkjoin(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig2",),
+        kwargs={"config": config, "thread_counts": THREADS, "repeats": 1},
+        rounds=3, iterations=1)
+    high = dict(zip(result.data["thread_counts"],
+                    result.data["high_locality_us"]))
+    uniform = dict(zip(result.data["thread_counts"],
+                       result.data["uniform_us"]))
+    # headline shapes: ~10us/pair locally, ~2x under uniform placement,
+    # large one-time step when the fork first crosses hypernodes
+    local_pair = (high[8] - high[4]) / 2
+    assert 5.0 <= local_pair <= 20.0
+    assert 1.3 <= ((uniform[8] - uniform[4]) / 2) / local_pair <= 3.5
+    assert (high[10] - high[8]) - local_pair > 25.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 3 (barrier synchronisation cost)."""
+
+from repro.experiments import run_experiment
+
+THREADS = [2, 4, 8, 10, 16]
+
+
+def test_bench_fig3_barrier(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig3",),
+        kwargs={"config": config, "thread_counts": THREADS, "rounds": 6},
+        rounds=3, iterations=1)
+    lifo = dict(zip(THREADS, result.data["lifo_high_locality_us"]))
+    lilo = dict(zip(THREADS, result.data["lilo_high_locality_us"]))
+    # LIFO is a few microseconds on one hypernode, with a jump at the
+    # second; LILO release is roughly linear per thread
+    assert 1.0 <= lifo[8] <= 8.0
+    assert lifo[10] > lifo[8]
+    slope = (lilo[16] - lilo[8]) / 8
+    assert 0.8 <= slope <= 4.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 4 (message round-trip cost)."""
+
+from repro.experiments import run_experiment
+
+SIZES = [64, 1024, 4096, 8192, 16384, 65536]
+
+
+def test_bench_fig4_message(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig4",),
+        kwargs={"config": config, "sizes": SIZES, "repeats": 2},
+        rounds=3, iterations=1)
+    ratio = result.data["small_message_global_local_ratio"]
+    local = dict(zip(SIZES, result.data["local_us"]))
+    # global/local ~ 2.3, flat below the 8 KB fast-buffer knee,
+    # super-linear beyond
+    assert 1.7 <= ratio <= 3.2
+    assert local[8192] / local[64] < 2.6
+    assert local[16384] / local[8192] > 1.8

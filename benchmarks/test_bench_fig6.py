@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6 (PIC time to solution, shared vs PVM)."""
+
+from repro.experiments import run_experiment
+
+PROCS = [1, 2, 4, 8, 16]
+
+
+def test_bench_fig6_pic(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig6",),
+        kwargs={"config": config, "processor_counts": PROCS},
+        rounds=3, iterations=1)
+    for label in ("32x32x32", "64x64x32"):
+        d = result.data[label]
+        # shared memory consistently outperforms PVM ...
+        for i, p in enumerate(PROCS):
+            if p >= 2:
+                assert d["pvm_seconds"][i] > d["shared_seconds"][i]
+        # ... and both scale to 16 processors
+        assert d["shared_speedup"][-1] > 6.0
+        assert d["pvm_speedup"][-1] > 4.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 7 (FEM scaling, with the 8->9 dip)."""
+
+from repro.experiments import run_experiment
+
+PROCS = [1, 2, 4, 8, 9, 12, 16]
+
+
+def test_bench_fig7_fem(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig7",),
+        kwargs={"config": config, "processor_counts": PROCS},
+        rounds=3, iterations=1)
+    i8, i9 = PROCS.index(8), PROCS.index(9)
+    for label in ("small1", "small2", "large"):
+        rates = result.data[label]["mflops"]
+        assert rates[i9] < rates[i8], f"{label}: missing 8->9 dip"
+    assert 200.0 <= result.data["c90_mflops"] <= 310.0

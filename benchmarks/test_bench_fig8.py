@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 8 (N-body tree code scaling)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig8_nbody(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig8",), kwargs={"config": config},
+        rounds=3, iterations=1)
+    for label, d in result.data.items():
+        for p, degradation in d["degradation"].items():
+            assert 0.0 <= degradation <= 0.09, f"{label} p={p}"
+    d32 = result.data["32K"]
+    assert 20.0 <= d32["single_cpu_mflops"] <= 40.0    # paper: 27.5
+    assert 300.0 <= d32["mflops_16"] <= 500.0          # paper: 384

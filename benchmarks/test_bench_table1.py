@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (PIC on one C90 head)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1_pic_c90(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("table1",), kwargs={"config": config},
+        rounds=3, iterations=1)
+    for label, paper_rate in (("32x32x32", 355.0), ("64x64x32", 369.0)):
+        rate = result.data[label]["mflops"]
+        assert abs(rate - paper_rate) / paper_rate < 0.25
+    assert result.data["64x64x32"]["seconds"] > \
+        result.data["32x32x32"]["seconds"]

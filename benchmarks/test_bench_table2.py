@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 2 (PPM performance)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table2_ppm(benchmark, config):
+    result = benchmark.pedantic(
+        run_experiment, args=("table2",), kwargs={"config": config},
+        rounds=3, iterations=1)
+    for row in result.data["rows"]:
+        rel = abs(row["mflops"] - row["paper_mflops"]) / row["paper_mflops"]
+        assert rel < 0.25, row

@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Regenerate the paper's §4 microbenchmarks (Figures 2, 3, 4).
+
+    python examples/microbenchmarks.py
+"""
+
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    for exp_id in ("fig2", "fig3", "fig4"):
+        print(run_experiment(exp_id).render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

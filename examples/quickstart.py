@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: build a simulated SPP-1000 and touch every layer.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+"""
+
+from repro import Machine, MemClass, spp1000
+from repro.core.units import to_us
+from repro.pvm import PvmSystem
+from repro.runtime import Barrier, Placement, Runtime
+
+
+def main() -> None:
+    # -- the machine: 2 hypernodes x 8 PA-RISC CPUs (the paper's box) --
+    machine = Machine(spp1000(n_hypernodes=2))
+    print(f"machine: {machine.config.n_cpus} CPUs, "
+          f"{machine.config.n_hypernodes} hypernodes")
+
+    # -- raw memory latencies --------------------------------------------
+    region = machine.alloc(4096, MemClass.NEAR_SHARED, home_hypernode=0)
+    addr = region.addr(0)
+
+    def probe():
+        t0 = machine.sim.now
+        yield machine.load(0, addr)
+        local = machine.sim.now - t0
+        t0 = machine.sim.now
+        yield machine.load(0, addr)
+        hit = machine.sim.now - t0
+        t0 = machine.sim.now
+        yield machine.load(8, addr)   # CPU 8 lives on the other hypernode
+        remote = machine.sim.now - t0
+        return hit, local, remote
+
+    hit, local, remote = machine.sim.run(until=machine.sim.process(probe()))
+    print(f"cache hit     {to_us(hit):7.2f} us")
+    print(f"local miss    {to_us(local):7.2f} us")
+    print(f"remote miss   {to_us(remote):7.2f} us "
+          f"({remote / local:.1f}x local — paper: ~8x)")
+
+    # -- the thread runtime: fork-join and a barrier ------------------------
+    runtime = Runtime(machine)
+    barrier = Barrier(runtime, 8)
+
+    def worker(env, tid):
+        yield env.compute(100 * tid)      # stagger
+        yield from barrier.wait(env)
+        return tid
+
+    def main_thread(env):
+        t0 = env.now
+        results = yield from env.fork_join(8, worker,
+                                           Placement.HIGH_LOCALITY)
+        return env.now - t0, results
+
+    elapsed, results = runtime.run(main_thread)
+    print(f"fork-join of 8 threads + barrier: {to_us(elapsed):.1f} us, "
+          f"results {results}")
+
+    # -- PVM message passing ---------------------------------------------------
+    pvm = PvmSystem(Runtime(Machine(spp1000(2))))
+    times = {}
+
+    def task(me, tid):
+        if tid == 0:
+            t0 = me.env.now
+            yield from me.send(1, b"ping", 64)
+            yield from me.recv(1)
+            times["rt"] = me.env.now - t0
+        else:
+            yield from me.recv(0)
+            yield from me.send(0, b"pong", 64)
+        return None
+
+    pvm.run_tasks(2, task, Placement.UNIFORM)
+    print(f"cross-hypernode PVM round trip: {to_us(times['rt']):.1f} us "
+          "(paper: ~70 us)")
+
+
+if __name__ == "__main__":
+    main()

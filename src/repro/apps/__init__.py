@@ -1,0 +1,14 @@
+"""The paper's four Earth/space-science applications (paper §5).
+
+* :mod:`repro.apps.pic` — 3-D electrostatic particle-in-cell plasma code
+* :mod:`repro.apps.fem` — 2-D unstructured finite-element gas dynamics
+* :mod:`repro.apps.nbody` — Barnes-Hut tree code for gravitational N-body
+* :mod:`repro.apps.ppm` — Piecewise-Parabolic Method hydrodynamics
+  (PROMETHEUS)
+
+Each application is a real numerical code (NumPy) with a companion
+workload module that characterises its parallel phases for the
+performance model.
+"""
+
+__all__ = ["pic", "fem", "nbody", "ppm"]

@@ -1,0 +1,85 @@
+"""High-level FEM simulation driver with diagnostics history.
+
+Wraps :class:`GasDynamicsFEM` the way the PIC driver wraps its kernels:
+fixed point of the public API for the examples and tests — step loop,
+per-step conserved totals, flow diagnostics (Mach number, extrema).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .gasdyn import FEMState, GasDynamicsFEM
+from .mesh import TriMesh
+
+__all__ = ["FEMSimulation"]
+
+
+class FEMSimulation:
+    """A gas-dynamics run on one mesh, with history."""
+
+    def __init__(self, mesh: TriMesh, state: FEMState,
+                 gamma: float = 1.4, cfl: float = 0.3,
+                 dissipation: float = 1.0):
+        self.solver = GasDynamicsFEM(mesh, gamma=gamma, cfl=cfl,
+                                     dissipation=dissipation)
+        self.state = state
+        self.time = 0.0
+        self.history: List[Dict[str, float]] = []
+
+    @property
+    def mesh(self) -> TriMesh:
+        return self.solver.mesh
+
+    @property
+    def step_count(self) -> int:
+        return self.solver.step_count
+
+    def mach_number(self) -> np.ndarray:
+        """Local Mach number at every mesh point."""
+        rho = self.state.rho
+        v = self.state.velocity
+        p = np.maximum(self.state.pressure(self.solver.gamma), 1e-12)
+        c = np.sqrt(self.solver.gamma * p / rho)
+        return np.hypot(v[:, 0], v[:, 1]) / c
+
+    def diagnostics(self) -> Dict[str, float]:
+        totals = self.solver.totals(self.state)
+        p = self.state.pressure(self.solver.gamma)
+        return {
+            "time": self.time,
+            "step": float(self.step_count),
+            **totals,
+            "min_density": float(self.state.rho.min()),
+            "min_pressure": float(p.min()),
+            "max_mach": float(self.mach_number().max()),
+        }
+
+    def step(self) -> Dict[str, float]:
+        """Advance one CFL-limited step; returns the new diagnostics."""
+        self.state, dt = self.solver.step(self.state)
+        self.time += dt
+        diag = self.diagnostics()
+        self.history.append(diag)
+        return diag
+
+    def run(self, n_steps: Optional[int] = None,
+            until_time: Optional[float] = None) -> List[Dict[str, float]]:
+        """Run for a step count or until a physical time (one required)."""
+        if (n_steps is None) == (until_time is None):
+            raise ValueError("give exactly one of n_steps / until_time")
+        if n_steps is not None:
+            for _ in range(n_steps):
+                self.step()
+        else:
+            while self.time < until_time:
+                self.step()
+        return self.history
+
+    def is_physical(self) -> bool:
+        """Positivity check on the current state."""
+        return bool(self.state.rho.min() > 0
+                    and self.state.pressure(self.solver.gamma).min() > 0
+                    and np.isfinite(self.state.u).all())

@@ -1,0 +1,13 @@
+"""Small complete applications executed *on* the simulated machine.
+
+Unlike :mod:`repro.apps.pic`/``fem``/``nbody``/``ppm`` — real numerical
+codes whose performance is modelled phase by phase — these kernels run
+end to end inside the simulation, exercising machine + runtime + PVM
+together with real payloads.
+"""
+
+from .heat1d import HeatResult, pvm_heat, serial_heat
+from .jacobi1d import SharedHeatResult, shared_heat
+
+__all__ = ["serial_heat", "pvm_heat", "HeatResult",
+           "shared_heat", "SharedHeatResult"]

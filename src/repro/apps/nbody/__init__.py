@@ -1,0 +1,46 @@
+"""Gravitational N-body tree code (paper §5.3).
+
+Numerics: :func:`plummer_sphere` / :func:`uniform_cube` initial
+conditions, Morton-key octree (:func:`build_octree`), Barnes-Hut forces
+(:func:`tree_forces`) with a group MAC, direct-summation reference, and
+the :class:`NBodySimulation` leapfrog driver.
+
+Performance: :class:`NBodyWorkload` with the paper's 32K/256K/2M sizes
+and both programming styles.
+"""
+
+from .bodies import Bodies, plummer_sphere, uniform_cube
+from .diagnostics import (
+    center_of_mass,
+    lagrangian_radius,
+    plummer_density,
+    radial_density_profile,
+    virial_ratio,
+)
+from .force import (
+    FLOPS_PER_INTERACTION,
+    ForceResult,
+    direct_forces,
+    tree_forces,
+)
+from .integrator import NBodySimulation
+from .tree import Octree, build_octree, compute_quadrupoles, morton_keys_3d
+from .workload import (
+    C90_TREE_PROFILE,
+    NBodyProblem,
+    NBodyWorkload,
+    problem_2m,
+    problem_32k,
+    problem_256k,
+)
+
+__all__ = [
+    "Bodies", "plummer_sphere", "uniform_cube",
+    "radial_density_profile", "lagrangian_radius", "virial_ratio",
+    "plummer_density", "center_of_mass",
+    "Octree", "build_octree", "compute_quadrupoles", "morton_keys_3d",
+    "ForceResult", "tree_forces", "direct_forces", "FLOPS_PER_INTERACTION",
+    "NBodySimulation",
+    "NBodyProblem", "NBodyWorkload",
+    "problem_32k", "problem_256k", "problem_2m", "C90_TREE_PROFILE",
+]

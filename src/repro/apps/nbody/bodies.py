@@ -1,0 +1,100 @@
+"""Particle sets and initial conditions for the gravitational N-body code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Bodies", "plummer_sphere", "uniform_cube"]
+
+G = 1.0  # gravitational constant in code units
+
+
+@dataclass
+class Bodies:
+    """N gravitating bodies."""
+
+    positions: np.ndarray    #: (N, 3)
+    velocities: np.ndarray   #: (N, 3)
+    masses: np.ndarray       #: (N,)
+
+    def __post_init__(self):
+        if self.positions.shape != self.velocities.shape \
+                or self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError("positions/velocities must be (N, 3)")
+        if self.masses.shape != (len(self.positions),):
+            raise ValueError("masses must be (N,)")
+        if np.any(self.masses <= 0):
+            raise ValueError("masses must be positive")
+
+    @property
+    def n(self) -> int:
+        return len(self.positions)
+
+    def kinetic_energy(self) -> float:
+        return 0.5 * float(np.sum(self.masses
+                                  * np.sum(self.velocities ** 2, axis=1)))
+
+    def potential_energy(self, softening: float = 0.0) -> float:
+        """Direct O(N^2) potential (small N only: used by tests)."""
+        pos = self.positions
+        m = self.masses
+        total = 0.0
+        for i in range(self.n - 1):
+            d = pos[i + 1:] - pos[i]
+            r = np.sqrt(np.sum(d * d, axis=1) + softening ** 2)
+            total -= G * m[i] * float(np.sum(m[i + 1:] / r))
+        return total
+
+    def total_momentum(self) -> np.ndarray:
+        return (self.masses[:, None] * self.velocities).sum(axis=0)
+
+
+def plummer_sphere(n: int, seed: int = 42, total_mass: float = 1.0) -> Bodies:
+    """A Plummer model in virial units (the standard N-body test system)."""
+    if n < 1:
+        raise ValueError("need at least one body")
+    rng = np.random.default_rng(seed)
+    # radii from the Plummer cumulative mass profile
+    x = rng.uniform(0.0, 1.0, n)
+    r = (x ** (-2.0 / 3.0) - 1.0) ** -0.5
+    r = np.minimum(r, 10.0)  # truncate the rare far tail
+    # isotropic directions
+    costh = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    sinth = np.sqrt(1.0 - costh ** 2)
+    pos = r[:, None] * np.column_stack(
+        [sinth * np.cos(phi), sinth * np.sin(phi), costh])
+    # velocities via the standard rejection sampling of the Plummer DF
+    g = rng.uniform(0.0, 0.1, n)
+    q = rng.uniform(0.0, 1.0, n)
+    accept = g < q ** 2 * (1.0 - q ** 2) ** 3.5
+    while not np.all(accept):
+        redo = ~accept
+        q[redo] = rng.uniform(0.0, 1.0, redo.sum())
+        g[redo] = rng.uniform(0.0, 0.1, redo.sum())
+        accept = g < q ** 2 * (1.0 - q ** 2) ** 3.5
+    vesc = np.sqrt(2.0) * (1.0 + r ** 2) ** -0.25
+    speed = q * vesc
+    costh = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    sinth = np.sqrt(1.0 - costh ** 2)
+    vel = speed[:, None] * np.column_stack(
+        [sinth * np.cos(phi), sinth * np.sin(phi), costh])
+    masses = np.full(n, total_mass / n)
+    # move to the centre-of-mass frame
+    pos -= pos.mean(axis=0)
+    vel -= vel.mean(axis=0)
+    return Bodies(pos, vel, masses)
+
+
+def uniform_cube(n: int, seed: int = 42, total_mass: float = 1.0) -> Bodies:
+    """Cold, uniform-density cube (a large-scale-structure style start)."""
+    if n < 1:
+        raise ValueError("need at least one body")
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(-0.5, 0.5, size=(n, 3))
+    vel = np.zeros_like(pos)
+    masses = np.full(n, total_mass / n)
+    return Bodies(pos, vel, masses)

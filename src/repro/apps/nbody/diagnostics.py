@@ -1,0 +1,72 @@
+"""Physics diagnostics for the N-body code.
+
+Cluster-structure quantities for validating runs against the analytic
+Plummer model and for monitoring relaxation: radial density profiles,
+half-mass and Lagrangian radii, and the virial ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .bodies import Bodies
+
+__all__ = ["radial_density_profile", "lagrangian_radius", "virial_ratio",
+           "plummer_density", "center_of_mass"]
+
+
+def center_of_mass(bodies: Bodies) -> np.ndarray:
+    return (bodies.masses[:, None] * bodies.positions).sum(axis=0) \
+        / bodies.masses.sum()
+
+
+def radial_density_profile(bodies: Bodies, bins: int = 20,
+                           r_max: float = 3.0
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+    """Spherically averaged mass density about the centre of mass.
+
+    Returns ``(bin_centres, density)``.
+    """
+    if bins < 1 or r_max <= 0:
+        raise ValueError("need positive bins and radius")
+    com = center_of_mass(bodies)
+    r = np.linalg.norm(bodies.positions - com, axis=1)
+    edges = np.linspace(0.0, r_max, bins + 1)
+    mass, _ = np.histogram(r, bins=edges, weights=bodies.masses)
+    volumes = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    return centres, mass / volumes
+
+
+def plummer_density(r: np.ndarray, total_mass: float = 1.0,
+                    scale: float = 1.0) -> np.ndarray:
+    """The analytic Plummer profile: rho(r) = 3M/(4 pi a^3) (1+r^2/a^2)^-5/2."""
+    return (3.0 * total_mass / (4.0 * np.pi * scale ** 3)
+            * (1.0 + (r / scale) ** 2) ** -2.5)
+
+
+def lagrangian_radius(bodies: Bodies, mass_fraction: float = 0.5) -> float:
+    """Radius enclosing a given fraction of the total mass (about COM)."""
+    if not 0.0 < mass_fraction < 1.0:
+        raise ValueError("mass fraction must be in (0, 1)")
+    com = center_of_mass(bodies)
+    r = np.linalg.norm(bodies.positions - com, axis=1)
+    order = np.argsort(r)
+    cumulative = np.cumsum(bodies.masses[order])
+    target = mass_fraction * bodies.masses.sum()
+    idx = int(np.searchsorted(cumulative, target))
+    return float(r[order[min(idx, len(r) - 1)]])
+
+
+def virial_ratio(bodies: Bodies, softening: float = 0.0) -> float:
+    """-2K/W; 1.0 for a system in virial equilibrium.
+
+    Uses the direct-sum potential, so intended for test-sized systems.
+    """
+    kinetic = bodies.kinetic_energy()
+    potential = bodies.potential_energy(softening)
+    if potential >= 0:
+        raise ValueError("potential energy must be negative")
+    return -2.0 * kinetic / potential

@@ -1,0 +1,64 @@
+"""Leapfrog (kick-drift-kick) time integration for the N-body system."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .bodies import Bodies
+from .force import ForceResult, tree_forces
+
+__all__ = ["NBodySimulation"]
+
+
+class NBodySimulation:
+    """KDK leapfrog driver around the tree force evaluation."""
+
+    def __init__(self, bodies: Bodies, dt: float = 0.01, theta: float = 0.6,
+                 softening: float = 0.01, leaf_size: int = 16,
+                 use_quadrupole: bool = False):
+        if dt <= 0:
+            raise ValueError("timestep must be positive")
+        self.bodies = bodies
+        self.dt = dt
+        self.theta = theta
+        self.softening = softening
+        self.leaf_size = leaf_size
+        self.use_quadrupole = use_quadrupole
+        self.step_count = 0
+        self.last_result: Optional[ForceResult] = None
+        self._acc: Optional[np.ndarray] = None
+
+    def _forces(self) -> np.ndarray:
+        result = tree_forces(self.bodies, theta=self.theta,
+                             softening=self.softening,
+                             leaf_size=self.leaf_size,
+                             use_quadrupole=self.use_quadrupole)
+        self.last_result = result
+        return result.accelerations
+
+    def step(self) -> None:
+        """One kick-drift-kick step."""
+        b = self.bodies
+        if self._acc is None:
+            self._acc = self._forces()
+        b.velocities += 0.5 * self.dt * self._acc
+        b.positions += self.dt * b.velocities
+        self._acc = self._forces()
+        b.velocities += 0.5 * self.dt * self._acc
+        self.step_count += 1
+
+    def run(self, n_steps: int) -> List[Dict[str, float]]:
+        """Advance ``n_steps``; returns per-step energy diagnostics."""
+        history = []
+        for _ in range(n_steps):
+            self.step()
+            history.append(self.energies())
+        return history
+
+    def energies(self) -> Dict[str, float]:
+        kinetic = self.bodies.kinetic_energy()
+        potential = self.bodies.potential_energy(self.softening)
+        return {"kinetic": kinetic, "potential": potential,
+                "total": kinetic + potential}

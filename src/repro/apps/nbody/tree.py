@@ -1,0 +1,236 @@
+"""Morton-key octree construction (paper §5.3.1).
+
+Particles are sorted by 63-bit Morton key (the hashed oct-tree of
+Warren & Salmon, the paper's reference [27]) and the tree is built
+top-down by splitting sorted key ranges on the three octant bits of each
+level.  Nodes store centre of mass, total mass, geometric centre and
+half-size; leaves reference a contiguous slice of the sorted particle
+arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .bodies import Bodies
+
+__all__ = ["Octree", "morton_keys_3d", "build_octree",
+           "compute_quadrupoles"]
+
+_BITS = 21  # bits per dimension; 63-bit keys
+
+
+def _part1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of x to every third bit position."""
+    x = x.astype(np.uint64) & np.uint64(0x1FFFFF)
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def morton_keys_3d(positions: np.ndarray, lo: np.ndarray,
+                   span: float) -> np.ndarray:
+    """63-bit Morton keys of positions inside the cube (lo, lo+span)."""
+    scale = ((1 << _BITS) - 1) / span
+    q = np.floor((positions - lo) * scale).astype(np.int64)
+    q = np.clip(q, 0, (1 << _BITS) - 1)
+    return (_part1by2(q[:, 0])
+            | (_part1by2(q[:, 1]) << np.uint64(1))
+            | (_part1by2(q[:, 2]) << np.uint64(2))).astype(np.uint64)
+
+
+@dataclass
+class Octree:
+    """Array-of-nodes octree over Morton-sorted particles."""
+
+    # particle data, sorted by Morton key
+    positions: np.ndarray
+    masses: np.ndarray
+    order: np.ndarray          #: sorted index -> original body index
+    # node arrays (index 0 is the root)
+    center: np.ndarray         #: (M, 3) geometric cell centre
+    half_size: np.ndarray      #: (M,)
+    com: np.ndarray            #: (M, 3) centre of mass
+    mass: np.ndarray           #: (M,)
+    children: np.ndarray       #: (M, 8) node index or -1
+    start: np.ndarray          #: (M,) first particle (sorted order)
+    end: np.ndarray            #: (M,) one past the last particle
+    is_leaf: np.ndarray        #: (M,) bool
+    #: optional traceless quadrupole tensors (M, 3, 3); populated by
+    #: :func:`compute_quadrupoles` ("high order moments of the mass
+    #: distribution", paper §5.3.1)
+    quadrupole: Optional[np.ndarray] = None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.mass)
+
+    @property
+    def n_bodies(self) -> int:
+        return len(self.masses)
+
+    def leaves(self) -> np.ndarray:
+        """Indices of leaf nodes (the force-walk target groups)."""
+        return np.flatnonzero(self.is_leaf)
+
+    def check_invariants(self) -> None:
+        """Structural checks used by the property tests."""
+        if abs(float(self.mass[0] - self.masses.sum())) > 1e-9 * max(
+                1.0, float(self.masses.sum())):
+            raise AssertionError("root mass != total particle mass")
+        for node in range(self.n_nodes):
+            s, e = self.start[node], self.end[node]
+            if s >= e:
+                raise AssertionError(f"node {node} is empty")
+            if self.is_leaf[node]:
+                if np.any(self.children[node] >= 0):
+                    raise AssertionError(f"leaf {node} has children")
+                continue
+            kids = self.children[node][self.children[node] >= 0]
+            if len(kids) == 0:
+                raise AssertionError(f"internal node {node} childless")
+            if int(sum(self.end[k] - self.start[k] for k in kids)) != e - s:
+                raise AssertionError(f"node {node} children do not tile it")
+            if abs(float(self.mass[kids].sum() - self.mass[node])) > 1e-9:
+                raise AssertionError(f"node {node} mass mismatch")
+            # particles inside the cell bounds
+        pos = self.positions
+        for node in range(self.n_nodes):
+            s, e = self.start[node], self.end[node]
+            c, h = self.center[node], self.half_size[node]
+            if np.any(np.abs(pos[s:e] - c) > h * (1 + 1e-9) + 1e-12):
+                raise AssertionError(f"node {node} particles out of bounds")
+
+
+def build_octree(bodies: Bodies, leaf_size: int = 16) -> Octree:
+    """Build the octree (top-down over Morton-sorted keys)."""
+    if leaf_size < 1:
+        raise ValueError("leaf size must be >= 1")
+    pos = bodies.positions
+    lo = pos.min(axis=0)
+    hi = pos.max(axis=0)
+    span = float((hi - lo).max())
+    if span == 0.0:
+        span = 1.0
+    # pad slightly so max-coordinate particles quantise inside
+    span *= 1.0 + 1e-9
+    keys = morton_keys_3d(pos, lo, span)
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    spos = pos[order]
+    smass = bodies.masses[order]
+
+    center0 = lo + 0.5 * span
+    half0 = 0.5 * span
+
+    centers: List[np.ndarray] = []
+    halves: List[float] = []
+    coms: List[np.ndarray] = []
+    masses: List[float] = []
+    children: List[List[int]] = []
+    starts: List[int] = []
+    ends: List[int] = []
+    leaf_flags: List[bool] = []
+
+    def new_node(s: int, e: int, ctr: np.ndarray, half: float) -> int:
+        idx = len(masses)
+        centers.append(ctr)
+        halves.append(half)
+        coms.append(np.zeros(3))
+        masses.append(0.0)
+        children.append([-1] * 8)
+        starts.append(s)
+        ends.append(e)
+        leaf_flags.append(False)
+        return idx
+
+    def build(s: int, e: int, level: int, ctr: np.ndarray,
+              half: float) -> int:
+        node = new_node(s, e, ctr, half)
+        if e - s <= leaf_size or level >= _BITS:
+            leaf_flags[node] = True
+            m = smass[s:e]
+            masses[node] = float(m.sum())
+            coms[node] = (m[:, None] * spos[s:e]).sum(axis=0) / masses[node]
+            return node
+        shift = np.uint64(3 * (_BITS - 1 - level))
+        octants = ((keys[s:e] >> shift) & np.uint64(7)).astype(np.int64)
+        bounds = np.searchsorted(octants, np.arange(9))
+        total_mass = 0.0
+        weighted = np.zeros(3)
+        for oct_id in range(8):
+            cs, ce = s + bounds[oct_id], s + bounds[oct_id + 1]
+            if cs == ce:
+                continue
+            offset = np.array([(oct_id >> 0) & 1, (oct_id >> 1) & 1,
+                               (oct_id >> 2) & 1], dtype=float)
+            child_ctr = ctr + (offset - 0.5) * half
+            child = build(cs, ce, level + 1, child_ctr, 0.5 * half)
+            children[node][oct_id] = child
+            total_mass += masses[child]
+            weighted += masses[child] * coms[child]
+        masses[node] = total_mass
+        coms[node] = weighted / total_mass
+        return node
+
+    import sys
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000))
+    try:
+        build(0, len(spos), 0, center0, half0)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    return Octree(
+        positions=spos, masses=smass, order=order,
+        center=np.array(centers), half_size=np.array(halves),
+        com=np.array(coms), mass=np.array(masses),
+        children=np.array(children, dtype=np.int64),
+        start=np.array(starts, dtype=np.int64),
+        end=np.array(ends, dtype=np.int64),
+        is_leaf=np.array(leaf_flags, dtype=bool),
+    )
+
+
+def _point_quadrupole(delta: np.ndarray, mass: np.ndarray) -> np.ndarray:
+    """Traceless quadrupole of point masses about an origin:
+    sum m (3 x x^T - |x|^2 I)."""
+    outer = np.einsum("p,pi,pj->ij", mass, delta, delta)
+    r2 = float(np.sum(mass * np.sum(delta * delta, axis=1)))
+    return 3.0 * outer - r2 * np.eye(3)
+
+
+def compute_quadrupoles(tree: Octree) -> np.ndarray:
+    """Populate ``tree.quadrupole`` (traceless, about each node's COM).
+
+    Leaves sum their particles directly; internal nodes combine children
+    through the parallel-axis shift
+    ``Q_parent = sum(Q_child + m_c (3 d d^T - d^2 I))`` with
+    ``d = com_child - com_parent``.
+    """
+    n = tree.n_nodes
+    quads = np.zeros((n, 3, 3))
+    # children always have larger indices than their parent (the builder
+    # appends depth-first), so one reverse pass is bottom-up
+    for node in range(n - 1, -1, -1):
+        if tree.is_leaf[node]:
+            s, e = tree.start[node], tree.end[node]
+            delta = tree.positions[s:e] - tree.com[node]
+            quads[node] = _point_quadrupole(delta, tree.masses[s:e])
+        else:
+            total = np.zeros((3, 3))
+            for child in tree.children[node]:
+                if child < 0:
+                    continue
+                d = (tree.com[child] - tree.com[node])[None, :]
+                total += quads[child] + _point_quadrupole(
+                    d, np.array([tree.mass[child]]))
+            quads[node] = total
+    tree.quadrupole = quads
+    return quads

@@ -1,0 +1,37 @@
+"""3-D electrostatic particle-in-cell plasma code (paper §5.1).
+
+Numerics: :class:`Grid3D`, :func:`beam_plasma`, TSC deposit/gather,
+spectral Poisson solve, :class:`PICSimulation`.
+
+Performance: :class:`PICWorkload` with the paper's two problem sizes
+(:func:`small_problem`, :func:`large_problem`) and the shared-memory and
+PVM execution styles.
+"""
+
+from .diagnostics import (
+    density_spectrum,
+    energy_budget,
+    field_energy_growth_rate,
+    velocity_histogram,
+)
+from .grid import Grid3D
+from .interpolation import deposit_charge, gather_field, tsc_weights
+from .particles import ParticleSet, beam_plasma
+from .poisson import fft_flops, solve_fields
+from .simulation import PICSimulation
+from .workload import (
+    C90_PIC_PROFILE,
+    PICProblem,
+    PICWorkload,
+    large_problem,
+    small_problem,
+)
+
+__all__ = [
+    "Grid3D", "ParticleSet", "beam_plasma", "tsc_weights",
+    "deposit_charge", "gather_field", "solve_fields", "fft_flops",
+    "PICSimulation", "PICProblem", "PICWorkload",
+    "small_problem", "large_problem", "C90_PIC_PROFILE",
+    "field_energy_growth_rate", "velocity_histogram", "density_spectrum",
+    "energy_budget",
+]

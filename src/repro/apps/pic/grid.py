@@ -1,0 +1,55 @@
+"""Periodic 3-D mesh for the PIC field solve."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Grid3D"]
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """A periodic rectangular mesh with unit-cell spacing.
+
+    Positions are measured in cell units: the domain is
+    ``[0, nx) x [0, ny) x [0, nz)`` with periodic wrap-around, matching
+    the paper's periodic boundary conditions in all three directions.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self):
+        for n in (self.nx, self.ny, self.nz):
+            if n < 4:
+                raise ValueError("grid needs at least 4 cells per dimension "
+                                 "(TSC support)")
+
+    @property
+    def shape(self) -> tuple:
+        return (self.nx, self.ny, self.nz)
+
+    @property
+    def n_cells(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def dims(self) -> np.ndarray:
+        return np.array([self.nx, self.ny, self.nz], dtype=float)
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.shape)
+
+    def wrap(self, positions: np.ndarray) -> np.ndarray:
+        """Map positions into the periodic domain."""
+        return np.mod(positions, self.dims)
+
+    def wavenumbers(self):
+        """FFT wavenumber arrays (kx, ky, kz) broadcastable to the grid."""
+        kx = 2.0 * np.pi * np.fft.fftfreq(self.nx)
+        ky = 2.0 * np.pi * np.fft.fftfreq(self.ny)
+        kz = 2.0 * np.pi * np.fft.fftfreq(self.nz)
+        return (kx[:, None, None], ky[None, :, None], kz[None, None, :])

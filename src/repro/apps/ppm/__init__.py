@@ -1,0 +1,39 @@
+"""Piecewise-Parabolic Method hydrodynamics — PROMETHEUS (paper §5.4).
+
+Numerics: :class:`GammaLawEOS`, PPM reconstruction, HLLC Riemann solver,
+directionally split sweeps, the monolithic :class:`PPMSolver2D`, and the
+:class:`TiledPPM` domain decomposition with four-deep ghost frames
+(bit-identical to the monolithic solver).
+
+Performance: :class:`PPMWorkload` with the exact Table 2 configurations
+(:data:`TABLE2_PROBLEMS`).
+"""
+
+from .eos import GammaLawEOS
+from .exact_riemann import (
+    RiemannState,
+    exact_riemann,
+    sample_riemann,
+    sod_exact,
+)
+from .reconstruct import ppm_reconstruct, vanleer_slopes
+from .riemann import hllc_flux
+from .solver import PPMSolver2D, blast_state, sod_state, uniform_state
+from .sweep import (
+    FLOPS_PER_ZONE_PER_STEP,
+    GHOST,
+    max_wavespeed,
+    primitives,
+    sweep,
+)
+from .tiles import Tile, TiledPPM
+from .workload import TABLE2_PROBLEMS, PPMProblem, PPMWorkload
+
+__all__ = [
+    "GammaLawEOS", "ppm_reconstruct", "vanleer_slopes", "hllc_flux",
+    "RiemannState", "exact_riemann", "sample_riemann", "sod_exact",
+    "PPMSolver2D", "uniform_state", "sod_state", "blast_state",
+    "sweep", "primitives", "max_wavespeed", "GHOST",
+    "FLOPS_PER_ZONE_PER_STEP",
+    "Tile", "TiledPPM", "PPMProblem", "PPMWorkload", "TABLE2_PROBLEMS",
+]

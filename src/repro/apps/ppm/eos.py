@@ -1,0 +1,38 @@
+"""Equations of state for the PPM hydrodynamics code.
+
+PROMETHEUS extends the original PPM to a general equation of state
+(paper §5.4, refs [6, 7]); we provide the gamma-law EOS used by the
+benchmark calculations plus the interface a general EOS must satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GammaLawEOS"]
+
+
+@dataclass(frozen=True)
+class GammaLawEOS:
+    """Ideal-gas EOS: p = (gamma - 1) rho e."""
+
+    gamma: float = 1.4
+
+    def __post_init__(self):
+        if not 1.0 < self.gamma < 3.0:
+            raise ValueError("gamma must be in (1, 3)")
+
+    def pressure(self, rho: np.ndarray, internal_energy: np.ndarray
+                 ) -> np.ndarray:
+        """p(rho, e) with e the specific internal energy."""
+        return (self.gamma - 1.0) * rho * internal_energy
+
+    def sound_speed(self, rho: np.ndarray, p: np.ndarray) -> np.ndarray:
+        return np.sqrt(self.gamma * np.maximum(p, 0.0)
+                       / np.maximum(rho, 1e-300))
+
+    def internal_energy(self, rho: np.ndarray, p: np.ndarray) -> np.ndarray:
+        """e(rho, p)."""
+        return p / ((self.gamma - 1.0) * np.maximum(rho, 1e-300))

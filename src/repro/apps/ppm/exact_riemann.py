@@ -1,0 +1,140 @@
+"""Exact Riemann solver for the 1-D Euler equations (Toro's method).
+
+Used to validate the PPM scheme against analytic solutions: the
+star-region pressure is found by Newton iteration on the pressure
+function, and the full similarity solution rho(x/t), u(x/t), p(x/t) is
+sampled — rarefactions, contacts and shocks included.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["RiemannState", "exact_riemann", "sample_riemann", "sod_exact"]
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    """One side of the Riemann problem (primitive variables)."""
+
+    rho: float
+    u: float
+    p: float
+
+    def __post_init__(self):
+        if self.rho <= 0 or self.p <= 0:
+            raise ValueError("density and pressure must be positive")
+
+    def sound_speed(self, gamma: float) -> float:
+        return math.sqrt(gamma * self.p / self.rho)
+
+
+def _pressure_function(p: float, state: RiemannState, gamma: float
+                       ) -> Tuple[float, float]:
+    """Toro's f(p, state) and its derivative."""
+    if p > state.p:   # shock
+        a = 2.0 / ((gamma + 1.0) * state.rho)
+        b = (gamma - 1.0) / (gamma + 1.0) * state.p
+        root = math.sqrt(a / (p + b))
+        f = (p - state.p) * root
+        df = root * (1.0 - 0.5 * (p - state.p) / (p + b))
+    else:             # rarefaction
+        c = state.sound_speed(gamma)
+        ratio = p / state.p
+        f = (2.0 * c / (gamma - 1.0)
+             * (ratio ** ((gamma - 1.0) / (2.0 * gamma)) - 1.0))
+        df = ratio ** (-(gamma + 1.0) / (2.0 * gamma)) / (state.rho * c)
+    return f, df
+
+
+def exact_riemann(left: RiemannState, right: RiemannState,
+                  gamma: float = 1.4, tol: float = 1e-12,
+                  max_iter: int = 100) -> Tuple[float, float]:
+    """Star-region pressure and velocity ``(p_star, u_star)``."""
+    du = right.u - left.u
+    # vacuum check
+    critical = (2.0 / (gamma - 1.0)
+                * (left.sound_speed(gamma) + right.sound_speed(gamma)))
+    if critical <= du:
+        raise ValueError("initial states generate vacuum")
+    p = max(0.5 * (left.p + right.p), 1e-8)   # initial guess
+    for _ in range(max_iter):
+        f_l, df_l = _pressure_function(p, left, gamma)
+        f_r, df_r = _pressure_function(p, right, gamma)
+        delta = (f_l + f_r + du) / (df_l + df_r)
+        p_new = max(p - delta, 1e-12)
+        if abs(p_new - p) < tol * max(p, 1.0):
+            p = p_new
+            break
+        p = p_new
+    f_l, _ = _pressure_function(p, left, gamma)
+    f_r, _ = _pressure_function(p, right, gamma)
+    u = 0.5 * (left.u + right.u) + 0.5 * (f_r - f_l)
+    return p, u
+
+
+def sample_riemann(left: RiemannState, right: RiemannState,
+                   xi: np.ndarray, gamma: float = 1.4
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample the similarity solution at speeds ``xi = x/t``.
+
+    Returns ``(rho, u, p)`` arrays.
+    """
+    p_star, u_star = exact_riemann(left, right, gamma)
+    xi = np.asarray(xi, dtype=float)
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+    gm1, gp1 = gamma - 1.0, gamma + 1.0
+
+    for i, s in enumerate(xi):
+        if s <= u_star:   # left of the contact
+            st = left
+            sign = 1.0
+        else:
+            st = right
+            sign = -1.0
+        c = st.sound_speed(gamma)
+        if p_star > st.p:
+            # shock on this side
+            shock_speed = st.u - sign * c * math.sqrt(
+                gp1 / (2.0 * gamma) * p_star / st.p
+                + gm1 / (2.0 * gamma))
+            if sign * (s - shock_speed) <= 0.0:
+                rho[i], u[i], p[i] = st.rho, st.u, st.p
+            else:
+                ratio = p_star / st.p
+                rho[i] = st.rho * ((ratio + gm1 / gp1)
+                                   / (gm1 / gp1 * ratio + 1.0))
+                u[i], p[i] = u_star, p_star
+        else:
+            # rarefaction on this side
+            c_star = c * (p_star / st.p) ** (gm1 / (2.0 * gamma))
+            head = st.u - sign * c
+            tail = u_star - sign * c_star
+            if sign * (s - head) <= 0.0:
+                rho[i], u[i], p[i] = st.rho, st.u, st.p
+            elif sign * (s - tail) >= 0.0:
+                rho[i] = st.rho * (p_star / st.p) ** (1.0 / gamma)
+                u[i], p[i] = u_star, p_star
+            else:
+                # inside the fan
+                u[i] = (2.0 / gp1) * (sign * c + gm1 / 2.0 * st.u + s)
+                c_local = sign * (u[i] - s)
+                rho[i] = st.rho * (c_local / c) ** (2.0 / gm1)
+                p[i] = st.p * (c_local / c) ** (2.0 * gamma / gm1)
+    return rho, u, p
+
+
+def sod_exact(x: np.ndarray, t: float, gamma: float = 1.4,
+              x0: float = 0.5) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The exact Sod solution at positions ``x`` and time ``t``."""
+    if t <= 0:
+        raise ValueError("time must be positive")
+    left = RiemannState(1.0, 0.0, 1.0)
+    right = RiemannState(0.125, 0.0, 0.1)
+    return sample_riemann(left, right, (np.asarray(x) - x0) / t, gamma)

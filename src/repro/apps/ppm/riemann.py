@@ -1,0 +1,83 @@
+"""HLLC approximate Riemann solver for the 1-D Euler equations.
+
+Operates on primitive-state arrays ``(rho, u, v, p)`` where ``u`` is the
+velocity normal to the interface and ``v`` the (passively advected)
+transverse velocity.  Returns the flux of the conserved variables
+``(rho, rho u, rho v, E)``.  Vectorised over arbitrary array shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .eos import GammaLawEOS
+
+__all__ = ["hllc_flux"]
+
+
+def _conserved(rho, u, v, p, gamma):
+    e = p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v)
+    return np.stack([rho, rho * u, rho * v, e], axis=0)
+
+
+def _flux(rho, u, v, p, gamma):
+    e = p / (gamma - 1.0) + 0.5 * rho * (u * u + v * v)
+    return np.stack([rho * u,
+                     rho * u * u + p,
+                     rho * u * v,
+                     (e + p) * u], axis=0)
+
+
+def hllc_flux(left: Tuple[np.ndarray, ...], right: Tuple[np.ndarray, ...],
+              eos: GammaLawEOS) -> np.ndarray:
+    """HLLC flux between primitive states ``left`` and ``right``.
+
+    Each state is a 4-tuple ``(rho, u, v, p)`` of equal-shape arrays;
+    the result has shape ``(4,) + rho.shape``.
+    """
+    gamma = eos.gamma
+    rl, ul, vl, pl = (np.asarray(x, dtype=float) for x in left)
+    rr, ur, vr, pr = (np.asarray(x, dtype=float) for x in right)
+    rl = np.maximum(rl, 1e-12)
+    rr = np.maximum(rr, 1e-12)
+    pl = np.maximum(pl, 1e-12)
+    pr = np.maximum(pr, 1e-12)
+
+    cl = eos.sound_speed(rl, pl)
+    cr = eos.sound_speed(rr, pr)
+    # Davis wave-speed estimates
+    sl = np.minimum(ul - cl, ur - cr)
+    sr = np.maximum(ul + cl, ur + cr)
+    # contact speed
+    s_star = (pr - pl + rl * ul * (sl - ul) - rr * ur * (sr - ur)) \
+        / (rl * (sl - ul) - rr * (sr - ur))
+
+    u_l = _conserved(rl, ul, vl, pl, gamma)
+    u_r = _conserved(rr, ur, vr, pr, gamma)
+    f_l = _flux(rl, ul, vl, pl, gamma)
+    f_r = _flux(rr, ur, vr, pr, gamma)
+
+    def star_state(rho, u, v, p, s, u_cons):
+        factor = rho * (s - u) / (s - s_star)
+        e = u_cons[3]
+        star = np.stack([
+            factor,
+            factor * s_star,
+            factor * v,
+            factor * (e / rho + (s_star - u)
+                      * (s_star + p / (rho * (s - u)))),
+        ], axis=0)
+        return star
+
+    star_l = star_state(rl, ul, vl, pl, sl, u_l)
+    star_r = star_state(rr, ur, vr, pr, sr, u_r)
+
+    f_star_l = f_l + sl * (star_l - u_l)
+    f_star_r = f_r + sr * (star_r - u_r)
+
+    flux = np.where(sl >= 0.0, f_l,
+                    np.where(s_star >= 0.0, f_star_l,
+                             np.where(sr >= 0.0, f_star_r, f_r)))
+    return flux

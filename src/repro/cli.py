@@ -1,0 +1,76 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Examples::
+
+    python -m repro list            # show available experiments
+    python -m repro fig4            # regenerate Figure 4
+    python -m repro all             # regenerate everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import spp1000
+from .experiments import list_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduce the tables and figures of 'A Performance "
+                     "Evaluation of the Convex SPP-1000' (SC'95) on the "
+                     "simulated machine."))
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig2, fig3, ...), 'list', or 'all'")
+    parser.add_argument(
+        "--hypernodes", type=int, default=2,
+        help="hypernodes in the simulated machine (default: 2, as measured "
+             "in the paper)")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced repetitions / problem sizes for a fast run")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for exp_id, title in list_experiments().items():
+            print(f"{exp_id:10s} {title}")
+        return 0
+
+    config = spp1000(n_hypernodes=args.hypernodes)
+    targets = (list(list_experiments()) if args.experiment == "all"
+               else [args.experiment])
+    for exp_id in targets:
+        kwargs = {"config": config}
+        if args.quick:
+            kwargs["quick"] = True
+        try:
+            result = _run(exp_id, **kwargs)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(result.render())
+        print()
+    return 0
+
+
+def _run(exp_id: str, **kwargs):
+    """Run an experiment, dropping kwargs its signature does not take."""
+    import inspect
+
+    from .experiments import get_experiment
+
+    fn = get_experiment(exp_id)
+    accepted = inspect.signature(fn).parameters
+    usable = {k: v for k, v in kwargs.items() if k in accepted}
+    return fn(**usable)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

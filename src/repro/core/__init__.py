@@ -1,0 +1,15 @@
+"""Core utilities: machine configuration, units, metrics, methodology, tables."""
+
+from .config import MachineConfig, spp1000
+from .metrics import ScalingCurve, ScalingPoint, efficiency, mflops, speedup
+from .stats import Measurement, corrected, summarize
+from .tables import Series, Table, render_series
+from . import units
+
+__all__ = [
+    "MachineConfig", "spp1000",
+    "mflops", "speedup", "efficiency", "ScalingPoint", "ScalingCurve",
+    "Measurement", "corrected", "summarize",
+    "Table", "Series", "render_series",
+    "units",
+]

@@ -1,0 +1,65 @@
+"""Measurement methodology (paper §4).
+
+The paper's synthetic measurements were limited by timer resolution, timer
+intrusion, and multitasking noise; the authors ran many repetitions and
+reported either the average or the minimum, after correcting for the
+overhead of the timestamps themselves.  This module packages the same
+methodology so experiment code states *which* estimator it uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+__all__ = ["corrected", "Measurement", "summarize"]
+
+
+def corrected(raw_ns: float, n_timestamps: int, timer_overhead_ns: float) -> float:
+    """Remove timestamp intrusion from a raw interval.
+
+    ``n_timestamps`` is how many timer reads fell *inside* the measured
+    interval; the paper subtracts their cost before reporting.
+    Negative corrected values clamp to 0 (resolution floor).
+    """
+    if n_timestamps < 0:
+        raise ValueError("timestamp count cannot be negative")
+    return max(0.0, raw_ns - n_timestamps * timer_overhead_ns)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Summary of repeated runs of one measured quantity (in ns)."""
+
+    samples: tuple
+    minimum: float
+    mean: float
+    maximum: float
+    stdev: float
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+
+def summarize(samples: Iterable[float]) -> Measurement:
+    """Summarise repeated measurements the way the paper reports them.
+
+    The paper uses the minimum for latency-style quantities (barrier,
+    message round trips — minimum filters out multitasking intrusion) and
+    averages for throughput-style quantities; both are exposed here.
+    """
+    xs: List[float] = list(samples)
+    if not xs:
+        raise ValueError("no samples")
+    n = len(xs)
+    mean = sum(xs) / n
+    var = sum((x - mean) ** 2 for x in xs) / n if n > 1 else 0.0
+    return Measurement(
+        samples=tuple(xs),
+        minimum=min(xs),
+        mean=mean,
+        maximum=max(xs),
+        stdev=math.sqrt(var),
+    )

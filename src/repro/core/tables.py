@@ -1,0 +1,78 @@
+"""Plain-text rendering of experiment results (tables and figure series).
+
+Every experiment in :mod:`repro.experiments` returns structured data plus a
+renderable :class:`Table` or set of :class:`Series`, so `python -m repro
+fig4` prints the same rows/series the paper's Figure 4 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["Table", "Series", "render_series"]
+
+
+@dataclass
+class Table:
+    """A titled table with a header row and uniform formatting."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} "
+                "columns")
+        self.rows.append(cells)
+
+    def render(self, float_fmt: str = "{:.2f}") -> str:
+        def fmt(cell: object) -> str:
+            if isinstance(cell, float):
+                return float_fmt.format(cell)
+            return str(cell)
+
+        text_rows = [[fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title, ""]
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in text_rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One labelled (x, y) series of a figure."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self):
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have equal length")
+
+
+def render_series(title: str, series: Sequence[Series],
+                  x_name: str = "x", y_name: str = "y",
+                  float_fmt: str = "{:.2f}") -> str:
+    """Render several series as a combined table keyed by x."""
+    xs = sorted({x for s in series for x in s.x})
+    table = Table(title, [x_name] + [s.label for s in series])
+    lookup = [{x: y for x, y in zip(s.x, s.y)} for s in series]
+    for x in xs:
+        cells = [x]
+        for m in lookup:
+            y = m.get(x)
+            cells.append(float_fmt.format(y) if isinstance(y, float) else
+                         (y if y is not None else "-"))
+        table.add_row(*cells)
+    return table.render(float_fmt)

@@ -1,0 +1,51 @@
+"""Unit helpers.
+
+All simulated time in this project is kept in **nanoseconds** (float); the
+SPP-1000's 100 MHz clock makes one CPU cycle exactly 10 ns.  Sizes are in
+bytes.  These helpers keep conversions explicit and greppable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS_PER_US", "NS_PER_MS", "NS_PER_S",
+    "KIB", "MIB",
+    "us", "ms", "seconds", "to_us", "to_ms", "to_seconds",
+]
+
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def us(value: float) -> float:
+    """Microseconds -> nanoseconds."""
+    return value * NS_PER_US
+
+
+def ms(value: float) -> float:
+    """Milliseconds -> nanoseconds."""
+    return value * NS_PER_MS
+
+
+def seconds(value: float) -> float:
+    """Seconds -> nanoseconds."""
+    return value * NS_PER_S
+
+
+def to_us(ns: float) -> float:
+    """Nanoseconds -> microseconds."""
+    return ns / NS_PER_US
+
+
+def to_ms(ns: float) -> float:
+    """Nanoseconds -> milliseconds."""
+    return ns / NS_PER_MS
+
+
+def to_seconds(ns: float) -> float:
+    """Nanoseconds -> seconds."""
+    return ns / NS_PER_S

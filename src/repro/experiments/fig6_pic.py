@@ -1,0 +1,63 @@
+"""Figure 6: PIC time-to-solution and speed-up, shared memory vs PVM.
+
+Four curves (two problem sizes x two programming styles) of time to
+solution against processor count, plus the C90 single-head reference
+line.  Expected shapes: the shared-memory version consistently
+outperforms PVM (the paper notes PVM reaches "almost one half" the
+shared performance), both styles scale to 16 processors, and the C90
+line sits between the single-processor and full-machine times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..apps.pic import PICWorkload, large_problem, small_problem
+from ..core import MachineConfig, Series, spp1000
+from ..core.units import to_seconds
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("fig6", "PIC time to solution and speed-up")
+def run(config: Optional[MachineConfig] = None,
+        processor_counts: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Regenerate Figure 6."""
+    config = config or spp1000()
+    if processor_counts is None:
+        processor_counts = [1, 2, 4, 8, 16]
+    processor_counts = [p for p in processor_counts if p <= config.n_cpus]
+
+    series = []
+    data: Dict = {"processors": list(processor_counts)}
+    for problem in (small_problem(), large_problem()):
+        workload = PICWorkload(problem, config)
+        shared_t = [to_seconds(workload.run_shared(p).time_ns)
+                    for p in processor_counts]
+        pvm_t = [to_seconds(workload.run_pvm(p).time_ns)
+                 for p in processor_counts]
+        c90_t = to_seconds(workload.run_c90())
+        series.append(Series(f"shared {problem.label}",
+                             list(processor_counts), shared_t))
+        series.append(Series(f"pvm {problem.label}",
+                             list(processor_counts), pvm_t))
+        series.append(Series(f"C90 {problem.label}",
+                             list(processor_counts),
+                             [c90_t] * len(processor_counts)))
+        data[problem.label] = {
+            "shared_seconds": shared_t,
+            "pvm_seconds": pvm_t,
+            "c90_seconds": c90_t,
+            "shared_speedup": [shared_t[0] / t for t in shared_t],
+            "pvm_speedup": [pvm_t[0] / t for t in pvm_t],
+        }
+
+    return ExperimentResult(
+        "fig6", "PIC time to solution (s) vs processors",
+        series=series, series_axes=("processors", "seconds"),
+        data=data,
+        notes=("Solid curves: shared memory; dashed in the paper: PVM; "
+               "flat line: one C90 head.  Shared memory consistently "
+               "outperforms PVM."),
+    )

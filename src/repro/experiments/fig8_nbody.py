@@ -1,0 +1,80 @@
+"""Figure 8: N-body tree-code performance scaling.
+
+Three problem sizes (32K / 256K / 2M particles), each run in the
+paper's two configurations: 1, 2, 4, 8 processors on one hypernode, and
+2, 4, 8, 16 processors spread across two.  Speed-up is measured against
+the single-processor rate (the paper's 27.5 MFLOP/s yardstick).
+Expected shapes: 2-7% degradation across hypernodes at equal processor
+counts, a 16-processor result near the paper's 384 MFLOP/s (~14x), a
+problem-size dependence at 16 processors, and a C90 tree-code reference
+of 120 MFLOP/s that the 16-processor run comfortably exceeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..apps.nbody import (
+    NBodyWorkload,
+    problem_2m,
+    problem_32k,
+    problem_256k,
+)
+from ..core import MachineConfig, Series, spp1000
+from ..core.units import to_seconds
+from ..runtime import Placement
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+ONE_NODE_COUNTS = [1, 2, 4, 8]
+TWO_NODE_COUNTS = [2, 4, 8, 16]
+
+
+@register("fig8", "N-body performance scaling")
+def run(config: Optional[MachineConfig] = None,
+        include_2m: bool = True) -> ExperimentResult:
+    """Regenerate Figure 8."""
+    config = config or spp1000()
+    problems = [problem_32k(), problem_256k()]
+    if include_2m:
+        problems.append(problem_2m())
+
+    series = []
+    data: Dict = {}
+    for problem in problems:
+        workload = NBodyWorkload(problem, config)
+        base = workload.run_shared(1)
+        one_node = [base.time_ns / workload.run_shared(
+            p, Placement.HIGH_LOCALITY).time_ns for p in ONE_NODE_COUNTS]
+        two_node = [base.time_ns / workload.run_shared(
+            p, Placement.UNIFORM).time_ns for p in TWO_NODE_COUNTS]
+        series.append(Series(f"{problem.label} 1-hypernode",
+                             ONE_NODE_COUNTS, one_node))
+        series.append(Series(f"{problem.label} 2-hypernodes",
+                             TWO_NODE_COUNTS, two_node))
+        r16 = workload.run_shared(16, Placement.UNIFORM)
+        degradation = {}
+        for p in (2, 4, 8):
+            t1 = workload.run_shared(p, Placement.HIGH_LOCALITY).time_ns
+            t2 = workload.run_shared(p, Placement.UNIFORM).time_ns
+            degradation[p] = (t2 - t1) / t1
+        c90_ns = workload.run_c90()
+        total_flops = workload.flops_per_step() * problem.n_steps
+        data[problem.label] = {
+            "one_node_speedup": one_node,
+            "two_node_speedup": two_node,
+            "single_cpu_mflops": base.mflops,
+            "mflops_16": r16.mflops,
+            "degradation": degradation,
+            "c90_mflops": total_flops / to_seconds(c90_ns) / 1e6,
+        }
+
+    return ExperimentResult(
+        "fig8", "N-body parallel speed-up vs processors",
+        series=series, series_axes=("processors", "speed-up"),
+        data=data,
+        notes=("Paper: single CPU 27.5 MFLOP/s; 16 CPUs 384 MFLOP/s; "
+               "2-7% degradation across two hypernodes; vectorised C90 "
+               "tree code 120 MFLOP/s."),
+    )

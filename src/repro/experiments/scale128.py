@@ -1,0 +1,97 @@
+"""Beyond the paper: predicted scaling to the full 128-CPU SPP-1000.
+
+The paper measured a 2-hypernode (16-CPU) system and names "running on
+larger configuration platforms" as near-term future work, noting that
+"from this initial data it is not possible to predict how speedup will
+change as additional hypernodes are added."  The machine model *can*
+extrapolate: this experiment runs all four applications on simulated
+1, 2, 4, 8 and 16-hypernode configurations (8 to 128 CPUs, the maximum
+the architecture supports) and reports speed-up and efficiency.
+
+The mechanisms that bend the curves are exactly the measured ones:
+far-shared remote fractions grow as ``1 - 1/hypernodes``, SCI ring hops
+grow with hypernode count, barriers pay per-hypernode invalidation
+walks, and the machine-full OS interference applies at every size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..apps.fem import FEMWorkload
+from ..apps.fem import large_problem as fem_large
+from ..apps.nbody import NBodyWorkload, problem_2m
+from ..apps.pic import PICWorkload
+from ..apps.pic import large_problem as pic_large
+from ..apps.ppm import PPMProblem, PPMWorkload
+from ..core import MachineConfig, Series, Table, spp1000
+from ..runtime import Placement
+from .base import ExperimentResult, register
+
+__all__ = ["run", "HYPERNODE_COUNTS"]
+
+HYPERNODE_COUNTS = [1, 2, 4, 8, 16]
+
+#: a PPM problem whose 8x32 = 256 tiles divide every CPU count up to 128
+_PPM_SCALE_PROBLEM = PPMProblem(480, 960, 8, 32)
+
+
+def _workloads(config: MachineConfig) -> Dict[str, object]:
+    return {
+        "PIC 64x64x32": PICWorkload(pic_large(), config),
+        "FEM large": FEMWorkload(fem_large(), config),
+        "N-body 2M": NBodyWorkload(problem_2m(), config),
+        "PPM 480x960": PPMWorkload(_PPM_SCALE_PROBLEM, config),
+    }
+
+
+def _run_app(workload, n_threads: int):
+    if hasattr(workload, "run_shared"):
+        return workload.run_shared(n_threads, Placement.HIGH_LOCALITY)
+    return workload.run(n_threads, Placement.HIGH_LOCALITY)
+
+
+@register("scale128", "Predicted scaling to 128 processors (future work)")
+def run(config: Optional[MachineConfig] = None) -> ExperimentResult:
+    """Extrapolate every application to the 16-hypernode machine."""
+    del config  # machine size is the swept variable here
+    baseline_cfg = spp1000(n_hypernodes=1)
+    baselines = {name: _run_app(w, 1).time_ns
+                 for name, w in _workloads(baseline_cfg).items()}
+
+    series: List[Series] = []
+    data: Dict = {"cpus": []}
+    per_app: Dict[str, List[float]] = {name: [] for name in baselines}
+    cpus_axis = []
+    for hns in HYPERNODE_COUNTS:
+        cfg = spp1000(n_hypernodes=hns)
+        n_cpus = cfg.n_cpus
+        cpus_axis.append(n_cpus)
+        for name, workload in _workloads(cfg).items():
+            result = _run_app(workload, n_cpus)
+            per_app[name].append(baselines[name] / result.time_ns)
+    data["cpus"] = cpus_axis
+
+    table = Table("Predicted speed-up (vs 1 CPU) at full machine sizes",
+                  ["application"] + [f"{c} CPUs" for c in cpus_axis])
+    for name, speedups in per_app.items():
+        series.append(Series(name, cpus_axis, speedups))
+        table.add_row(name, *[f"{s:.1f}" for s in speedups])
+        data[name] = {
+            "speedup": speedups,
+            "efficiency": [s / c for s, c in zip(speedups, cpus_axis)],
+        }
+
+    return ExperimentResult(
+        "scale128", "Predicted scaling to 128 processors",
+        tables=[table], series=series,
+        series_axes=("CPUs", "speed-up"),
+        data=data,
+        notes=("Model extrapolation beyond the paper's 16-CPU testbed, "
+               "using the mechanisms calibrated against Figures 2-8: "
+               "growing remote fractions, longer SCI ring walks, "
+               "per-hypernode barrier costs, OS interference.  FEM turns "
+               "superlinear once the aggregate cache absorbs its mesh — "
+               "the same effect the paper engineered for its small data "
+               "set at 16 CPUs."),
+    )

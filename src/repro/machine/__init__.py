@@ -1,0 +1,28 @@
+"""The simulated Convex SPP-1000 (paper §2).
+
+Public surface:
+
+* :class:`Machine` — the wired system; programs access memory through it
+* :class:`MemClass`, :class:`Region` — the five §3.2 memory classes
+* :class:`Topology`, :class:`CpuLocation` — CPU naming
+* component models (:class:`DirectMappedCache`, :class:`SCIList`, ...) for
+  inspection and testing
+"""
+
+from .address import AddressSpace, HomeLocation, MemClass, Region
+from .cache import DirectMappedCache
+from .costs import latency_table, measure_latencies
+from .directory import HypernodeDirectory, LineEntry
+from .interconnect import Crossbar, Interconnect, Ring
+from .memory import MemoryBank, MemorySubsystem
+from .sci import SCIDirectory, SCIList
+from .system import Machine
+from .topology import CpuLocation, Topology
+
+__all__ = [
+    "Machine", "MemClass", "Region", "AddressSpace", "HomeLocation",
+    "Topology", "CpuLocation", "DirectMappedCache", "HypernodeDirectory",
+    "LineEntry", "SCIDirectory", "SCIList", "Crossbar", "Ring",
+    "Interconnect", "MemoryBank", "MemorySubsystem",
+    "measure_latencies", "latency_table",
+]

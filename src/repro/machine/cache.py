@@ -1,0 +1,79 @@
+"""Per-CPU direct-mapped data cache (1 MB, 32-byte lines on the PA-7100).
+
+Only tags are modelled — data values live in the machine's word store.
+The cache answers hit/miss, performs direct-mapped replacement, and keeps
+the miss/hit/eviction counters that the paper's hardware instrumentation
+exposed (§6 praises exactly these counters).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.config import MachineConfig
+
+__all__ = ["DirectMappedCache"]
+
+
+class DirectMappedCache:
+    """Tag store of a direct-mapped cache with 32-byte lines."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.n_sets = config.dcache_lines
+        self._tags: Dict[int, int] = {}   # set index -> line address
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def line_of(self, addr: int) -> int:
+        """Line-aligned address containing ``addr``."""
+        return addr - (addr % self.config.line_bytes)
+
+    def set_of(self, line: int) -> int:
+        """Direct-mapped set index of a line address."""
+        return (line // self.config.line_bytes) % self.n_sets
+
+    def contains(self, line: int) -> bool:
+        """Tag check without touching statistics."""
+        return self._tags.get(self.set_of(line)) == line
+
+    def access(self, line: int) -> bool:
+        """Tag check that records a hit or miss; True on hit."""
+        if self.contains(line):
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, line: int) -> Optional[int]:
+        """Install ``line``; returns the evicted line if the set was full."""
+        if line % self.config.line_bytes:
+            raise ValueError(f"{line:#x} is not line-aligned")
+        idx = self.set_of(line)
+        victim = self._tags.get(idx)
+        if victim == line:
+            return None
+        if victim is not None:
+            self.evictions += 1
+        self._tags[idx] = line
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; True if a copy was removed."""
+        idx = self.set_of(line)
+        if self._tags.get(idx) == line:
+            del self._tags[idx]
+            self.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache (used between measurement repetitions)."""
+        self._tags.clear()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return len(self._tags)

@@ -1,0 +1,80 @@
+"""Canonical latency table of a machine configuration.
+
+A one-call summary of what every basic operation costs on a given
+:class:`MachineConfig` — the numbers §2.6 of the paper quotes in prose.
+Latencies are *measured on the simulated machine* (not recomputed from
+formulas), so the table always reflects the protocol as implemented.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.config import MachineConfig, spp1000
+from ..core.tables import Table
+from .address import MemClass
+from .system import Machine
+
+__all__ = ["measure_latencies", "latency_table"]
+
+
+def measure_latencies(config: Optional[MachineConfig] = None
+                      ) -> Dict[str, float]:
+    """Measured costs (in cycles) of the basic operations.
+
+    Keys: ``cache_hit``, ``local_miss``, ``gcb_hit``, ``remote_miss``,
+    ``local_atomic``, ``remote_atomic``, ``tlb_miss``.
+    """
+    config = config or spp1000()
+    if config.n_hypernodes < 2:
+        raise ValueError("latency table needs a multi-hypernode machine")
+    machine = Machine(config)
+    region = machine.alloc(2 * config.page_bytes, MemClass.NEAR_SHARED,
+                           home_hypernode=0)
+    addr = region.addr(0)
+    out: Dict[str, float] = {}
+
+    def cycles_since(t0: float) -> float:
+        return (machine.sim.now - t0) / config.clock_ns
+
+    def prog():
+        t0 = machine.sim.now
+        yield machine.load(0, addr)
+        cold = cycles_since(t0)
+        t0 = machine.sim.now
+        yield machine.load(0, addr + config.line_bytes)
+        out["local_miss"] = cycles_since(t0)
+        out["tlb_miss"] = cold - out["local_miss"]
+        t0 = machine.sim.now
+        yield machine.load(0, addr)
+        out["cache_hit"] = cycles_since(t0)
+        yield machine.load(8, addr + 2 * config.line_bytes)  # warm TLB hn1
+        t0 = machine.sim.now
+        yield machine.load(8, addr)
+        out["remote_miss"] = cycles_since(t0)
+        t0 = machine.sim.now
+        yield machine.load(9, addr)
+        out["gcb_hit"] = cycles_since(t0)
+        t0 = machine.sim.now
+        yield machine.fetch_add(0, addr + 8)
+        out["local_atomic"] = cycles_since(t0)
+        t0 = machine.sim.now
+        yield machine.fetch_add(8, addr + 16)
+        out["remote_atomic"] = cycles_since(t0)
+
+    machine.sim.run(until=machine.sim.process(prog()))
+    return out
+
+
+def latency_table(config: Optional[MachineConfig] = None) -> Table:
+    """The measured latencies as a renderable table."""
+    config = config or spp1000()
+    measured = measure_latencies(config)
+    table = Table("SPP-1000 basic operation latencies (measured)",
+                  ["operation", "cycles", "microseconds"])
+    for key in ("cache_hit", "local_miss", "gcb_hit", "remote_miss",
+                "local_atomic", "remote_atomic", "tlb_miss"):
+        cycles = measured[key]
+        table.add_row(key, f"{cycles:.0f}",
+                      f"{cycles * config.clock_ns / 1000:.2f}")
+    return table

@@ -1,0 +1,93 @@
+"""Intra-hypernode directory-based coherence state (DASH-style, paper §2.4).
+
+Each hypernode keeps direct-mapped directory tags for the lines homed in
+its memory (and for remote lines held in its global cache buffer).  A tag
+records which *local* CPUs hold copies; cross-hypernode sharing is
+delegated to the SCI lists (:mod:`repro.machine.sci`).
+
+This module tracks *state*; latencies are charged by the memory system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+__all__ = ["LineEntry", "HypernodeDirectory"]
+
+
+@dataclass
+class LineEntry:
+    """Directory tag for one line within one hypernode."""
+
+    sharers: Set[int] = field(default_factory=set)  #: local CPU ids w/ copies
+    dirty: bool = False                             #: a local CPU owns it
+                                                    #  exclusively, modified
+
+    @property
+    def shared(self) -> bool:
+        return bool(self.sharers)
+
+
+class HypernodeDirectory:
+    """Directory tags of one hypernode (home lines + global cache buffer)."""
+
+    def __init__(self, hypernode: int):
+        self.hypernode = hypernode
+        self._entries: Dict[int, LineEntry] = {}
+        #: remote lines currently held in this hypernode's global cache
+        #: buffer (line address -> True); the GCB is carved out of FU
+        #: memory, so capacity is effectively the memory itself.
+        self.global_cache_buffer: Set[int] = set()
+
+    def entry(self, line: int) -> LineEntry:
+        """The directory entry for ``line`` (created clean on first use)."""
+        ent = self._entries.get(line)
+        if ent is None:
+            ent = LineEntry()
+            self._entries[line] = ent
+        return ent
+
+    def peek(self, line: int) -> LineEntry:
+        """Entry without creating one (empty entry if never referenced)."""
+        return self._entries.get(line, LineEntry())
+
+    def add_sharer(self, line: int, cpu: int) -> None:
+        self.entry(line).sharers.add(cpu)
+
+    def remove_sharer(self, line: int, cpu: int) -> None:
+        ent = self._entries.get(line)
+        if ent is not None:
+            ent.sharers.discard(cpu)
+            if not ent.sharers:
+                ent.dirty = False
+                del self._entries[line]
+
+    def local_sharers(self, line: int, excluding: int = -1) -> List[int]:
+        """Local CPUs holding ``line``, minus ``excluding`` (deterministic order)."""
+        ent = self._entries.get(line)
+        if ent is None:
+            return []
+        return sorted(c for c in ent.sharers if c != excluding)
+
+    def clear_line(self, line: int) -> List[int]:
+        """Drop all local sharers of ``line``; returns who was invalidated."""
+        ent = self._entries.pop(line, None)
+        return sorted(ent.sharers) if ent else []
+
+    # -- global cache buffer ----------------------------------------------
+    def gcb_holds(self, line: int) -> bool:
+        return line in self.global_cache_buffer
+
+    def gcb_insert(self, line: int) -> None:
+        self.global_cache_buffer.add(line)
+
+    def gcb_drop(self, line: int) -> bool:
+        if line in self.global_cache_buffer:
+            self.global_cache_buffer.remove(line)
+            return True
+        return False
+
+    @property
+    def tracked_lines(self) -> int:
+        return len(self._entries)

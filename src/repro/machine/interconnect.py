@@ -1,0 +1,99 @@
+"""Crossbars and SCI rings as contended simulation resources.
+
+* Each hypernode has a 5-port crossbar; we model one port
+  :class:`~repro.sim.resources.Resource` per functional unit (the fifth,
+  I/O, port is instantiated but unused by compute traffic).  A memory
+  request holds the *destination* FU's port for ``crossbar_cycles``.
+* Each of the four rings is a unidirectional token path; a transfer holds
+  the ring for ``hops * ring_hop_cycles``.  Modelling the whole ring as a
+  single resource is coarser than per-link occupancy but preserves what
+  matters here: global traffic serialises per-ring while the four rings
+  run in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.config import MachineConfig
+from ..sim import Resource, Simulator
+
+__all__ = ["Crossbar", "Ring", "Interconnect"]
+
+
+class Crossbar:
+    """The 5-port crossbar of one hypernode."""
+
+    IO_PORT = "io"
+
+    def __init__(self, sim: Simulator, config: MachineConfig, hypernode: int):
+        self.sim = sim
+        self.config = config
+        self.hypernode = hypernode
+        self.ports: Dict[object, Resource] = {
+            fu: Resource(sim) for fu in range(config.fus_per_hypernode)
+        }
+        self.ports[self.IO_PORT] = Resource(sim)
+        self.traversals = 0
+
+    def traverse(self, dst_fu: int):
+        """Process: one traversal to functional unit ``dst_fu``."""
+        port = self.ports[dst_fu]
+        cfg = self.config
+
+        def _go():
+            yield port.acquire()
+            try:
+                yield self.sim.timeout(cfg.cycles(cfg.crossbar_cycles))
+            finally:
+                port.release()
+            self.traversals += 1
+        return self.sim.process(_go())
+
+
+class Ring:
+    """One of the four SCI rings."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig, ring_id: int):
+        self.sim = sim
+        self.config = config
+        self.ring_id = ring_id
+        self._bus = Resource(sim)
+        self.transfers = 0
+        self.busy_ns = 0.0
+
+    def transfer(self, src_hn: int, dst_hn: int):
+        """Process: move one packet from ``src_hn`` to ``dst_hn``."""
+        cfg = self.config
+        hops = (dst_hn - src_hn) % cfg.n_hypernodes
+        hold = cfg.cycles(cfg.ring_hop_cycles) * max(hops, 1)
+
+        def _go():
+            yield self._bus.acquire()
+            try:
+                yield self.sim.timeout(hold)
+            finally:
+                self._bus.release()
+            self.transfers += 1
+            self.busy_ns += hold
+        return self.sim.process(_go())
+
+
+class Interconnect:
+    """All crossbars and rings of the machine."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig):
+        self.sim = sim
+        self.config = config
+        self.crossbars: List[Crossbar] = [
+            Crossbar(sim, config, hn) for hn in range(config.n_hypernodes)
+        ]
+        self.rings: List[Ring] = [
+            Ring(sim, config, r) for r in range(config.n_rings)
+        ]
+
+    def crossbar(self, hypernode: int) -> Crossbar:
+        return self.crossbars[hypernode]
+
+    def ring(self, ring_id: int) -> Ring:
+        return self.rings[ring_id]

@@ -1,0 +1,128 @@
+"""SCI distributed sharing lists (IEEE 1596 Scalable Coherent Interface).
+
+Across hypernodes, the SPP-1000 keeps, for every memory line shared beyond
+its home, a distributed doubly-linked list of *sharing hypernodes*.  The
+home memory holds the head pointer; each sharer holds forward and backward
+pointers.  New sharers attach at the head; a write walks the list
+invalidating every entry (this walk is what makes global writes costly,
+and it is implemented literally here so its cost scales with the number of
+sharing hypernodes).
+
+Structure only — the time cost of each list operation is charged by the
+memory system (:mod:`repro.machine.system`), which asks this module *what*
+work a coherence action entails (e.g. the ordered list of nodes an
+invalidation must visit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["SCIList", "SCIDirectory"]
+
+
+@dataclass
+class _Entry:
+    """One sharing hypernode's pointers."""
+
+    forward: Optional[int] = None
+    backward: Optional[int] = None   # None for the head (points at home)
+
+
+class SCIList:
+    """The sharing list of one memory line."""
+
+    def __init__(self, home_hypernode: int):
+        self.home = home_hypernode
+        self.head: Optional[int] = None
+        self._entries: Dict[int, _Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, hypernode: int) -> bool:
+        return hypernode in self._entries
+
+    def attach(self, hypernode: int) -> None:
+        """Prepend ``hypernode`` at the head (SCI attaches new sharers there)."""
+        if hypernode == self.home:
+            raise ValueError("the home hypernode does not join its own list")
+        if hypernode in self._entries:
+            raise ValueError(f"hypernode {hypernode} already shares this line")
+        entry = _Entry(forward=self.head, backward=None)
+        if self.head is not None:
+            self._entries[self.head].backward = hypernode
+        self._entries[hypernode] = entry
+        self.head = hypernode
+
+    def detach(self, hypernode: int) -> None:
+        """Unlink ``hypernode`` (rollout), patching neighbours' pointers."""
+        entry = self._entries.pop(hypernode)
+        if entry.backward is None:
+            self.head = entry.forward
+        else:
+            self._entries[entry.backward].forward = entry.forward
+        if entry.forward is not None:
+            self._entries[entry.forward].backward = entry.backward
+
+    def walk(self) -> List[int]:
+        """Sharing hypernodes in list order (the order an invalidation visits)."""
+        nodes: List[int] = []
+        cursor = self.head
+        seen = set()
+        while cursor is not None:
+            if cursor in seen:
+                raise RuntimeError("SCI list is cyclic — corrupted")
+            seen.add(cursor)
+            nodes.append(cursor)
+            cursor = self._entries[cursor].forward
+        if len(nodes) != len(self._entries):
+            raise RuntimeError("SCI list is disconnected — corrupted")
+        return nodes
+
+    def purge(self) -> List[int]:
+        """Invalidate every sharer: returns the visit order, empties the list."""
+        order = self.walk()
+        self._entries.clear()
+        self.head = None
+        return order
+
+    def check_invariants(self) -> None:
+        """Raise if forward/backward pointers are inconsistent (for tests)."""
+        order = self.walk()  # also detects cycles/disconnection
+        for prev, node in zip([None] + order[:-1], order):
+            if self._entries[node].backward != prev:
+                raise RuntimeError(
+                    f"backward pointer of {node} is "
+                    f"{self._entries[node].backward}, expected {prev}")
+
+
+class SCIDirectory:
+    """All SCI sharing lists of the system, keyed by line address."""
+
+    def __init__(self):
+        self._lists: Dict[int, SCIList] = {}
+
+    def list_for(self, line: int, home_hypernode: int) -> SCIList:
+        """The sharing list of ``line``, created empty on first use."""
+        lst = self._lists.get(line)
+        if lst is None:
+            lst = SCIList(home_hypernode)
+            self._lists[line] = lst
+        elif lst.home != home_hypernode:
+            raise ValueError(
+                f"line {line:#x} is homed at {lst.home}, not {home_hypernode}")
+        return lst
+
+    def sharers(self, line: int) -> List[int]:
+        lst = self._lists.get(line)
+        return lst.walk() if lst else []
+
+    def drop(self, line: int) -> None:
+        self._lists.pop(line, None)
+
+    @property
+    def active_lines(self) -> int:
+        """Number of lines currently shared across hypernodes."""
+        return sum(1 for lst in self._lists.values() if len(lst))

@@ -1,0 +1,63 @@
+"""Cray Y-MP C90 single-head reference model.
+
+The paper quotes one C90 head as the yardstick for every application
+(Table 1, and the flat reference lines of Figures 6-8).  We model a head
+as a vector pipeline with an Amdahl split between scalar and vector
+work, vector-length startup (n-half), and a gather/scatter throughput
+penalty — enough to reproduce the paper's sustained rates (355-369
+MFLOP/s for PIC, 250 for FEM, 120 for the vectorised tree code) from
+plausible per-application vectorisation profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.units import seconds
+
+__all__ = ["C90Profile", "C90Model"]
+
+
+@dataclass(frozen=True)
+class C90Profile:
+    """How well one application vectorises on the C90."""
+
+    vector_fraction: float       #: fraction of flops in vector loops
+    avg_vector_length: float = 64.0
+    gather_fraction: float = 0.0  #: fraction of vector work that is
+                                  #  gather/scatter limited
+
+    def __post_init__(self):
+        if not 0.0 <= self.vector_fraction <= 1.0:
+            raise ValueError("vector fraction must be in [0, 1]")
+        if not 0.0 <= self.gather_fraction <= 1.0:
+            raise ValueError("gather fraction must be in [0, 1]")
+        if self.avg_vector_length < 1:
+            raise ValueError("vector length must be >= 1")
+
+
+@dataclass(frozen=True)
+class C90Model:
+    """One head of a Cray Y-MP C90."""
+
+    peak_mflops: float = 952.0    #: 4.2 ns clock, two pipes x two flops
+    scalar_mflops: float = 44.0   #: sustained scalar rate
+    n_half: float = 30.0          #: vector half-performance length
+    gather_penalty: float = 0.55  #: gather/scatter runs at this fraction
+                                  #  of streaming vector speed
+
+    def sustained_mflops(self, profile: C90Profile) -> float:
+        """Sustained rate for an application profile (harmonic blend)."""
+        avl = profile.avg_vector_length
+        vector_rate = self.peak_mflops * avl / (avl + self.n_half)
+        vector_rate *= (1.0 - profile.gather_fraction
+                        + profile.gather_fraction * self.gather_penalty)
+        vf = profile.vector_fraction
+        return 1.0 / ((1.0 - vf) / self.scalar_mflops + vf / vector_rate)
+
+    def time_ns(self, flops: float, profile: C90Profile) -> float:
+        """Wall-clock (CPU) time to execute ``flops`` on one head."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        rate = self.sustained_mflops(profile)
+        return seconds(flops / (rate * 1e6))

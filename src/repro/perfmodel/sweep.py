@@ -1,0 +1,39 @@
+"""Scaling-study helpers shared by the figure experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.metrics import ScalingCurve, ScalingPoint
+from .model import RunResult
+
+__all__ = ["scaling_study", "efficiency_table"]
+
+
+def scaling_study(run: Callable[[int], RunResult],
+                  processor_counts: Sequence[int],
+                  label: str = "") -> ScalingCurve:
+    """Run a workload at each processor count; returns a ScalingCurve.
+
+    ``run(p)`` must return a :class:`RunResult`; each count is executed
+    exactly once.
+    """
+    if not processor_counts:
+        raise ValueError("no processor counts given")
+    points = []
+    for p in processor_counts:
+        result = run(p)
+        points.append(ScalingPoint(processors=p, time_ns=result.time_ns,
+                                   flops=result.flops))
+    return ScalingCurve(label or "scaling", points)
+
+
+def efficiency_table(curve: ScalingCurve) -> list:
+    """(processors, speedup, efficiency) rows for a curve with a p=1 point."""
+    baseline = curve.time_at(curve.processors[0])
+    base_p = curve.processors[0]
+    rows = []
+    for pt in curve.points:
+        speedup = baseline / pt.time_ns * base_p
+        rows.append((pt.processors, speedup, speedup / pt.processors))
+    return rows

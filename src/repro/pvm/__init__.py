@@ -1,0 +1,27 @@
+"""ConvexPVM-style message passing on the simulated SPP-1000 (paper §3.1).
+
+Public surface:
+
+* :class:`PvmSystem` — task registry, buffer pool, ``run_tasks`` driver
+* :class:`PvmTask` — per-task ``send`` / ``recv`` / ``probe``
+* :data:`ANY_SOURCE`, :data:`ANY_TAG` — receive wildcards
+* :class:`BufferPool`, :class:`Message` — internals, exposed for tests
+"""
+
+from .buffers import BufferLease, BufferPool
+from .collectives import (
+    pvm_allreduce,
+    pvm_barrier,
+    pvm_bcast,
+    pvm_gather,
+    pvm_reduce,
+)
+from .message import ANY_SOURCE, ANY_TAG, Message, matches
+from .system import PvmSystem, PvmTask, Request
+
+__all__ = [
+    "PvmSystem", "PvmTask", "Request", "ANY_SOURCE", "ANY_TAG",
+    "Message", "matches", "BufferPool", "BufferLease",
+    "pvm_barrier", "pvm_bcast", "pvm_reduce", "pvm_allreduce",
+    "pvm_gather",
+]

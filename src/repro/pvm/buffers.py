@@ -1,0 +1,68 @@
+"""Shared message-buffer management (ConvexPVM's zero-daemon fast path).
+
+ConvexPVM lets tasks exchange data through shared-memory buffers instead
+of private copies relayed by a daemon (paper §3.1).  Each task owns a
+small preallocated *fast buffer* (``pvm_fastbuf_pages`` pages, the source
+of the 8 KB knee in Figure 4); messages that fit go through it at zero
+allocation cost.  Larger messages allocate fresh pages, paying a map +
+first-touch cost per page — more when the receiver sits on another
+hypernode and the pages stream over an SCI ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..machine import Machine, MemClass
+
+__all__ = ["BufferLease", "BufferPool"]
+
+
+@dataclass(frozen=True)
+class BufferLease:
+    """A granted message buffer."""
+
+    addr: int
+    nbytes: int
+    fresh_pages: int       #: pages newly mapped for this message (0 = fast path)
+    home_hypernode: int
+
+
+class BufferPool:
+    """Per-task fast buffers plus page-granular overflow allocation."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.config = machine.config
+        self._fastbufs: Dict[int, int] = {}    # task tid -> base address
+        self._fast_bytes = (self.config.pvm_fastbuf_pages
+                            * self.config.page_bytes)
+
+    @property
+    def fastbuf_bytes(self) -> int:
+        return self._fast_bytes
+
+    def acquire(self, tid: int, hypernode: int, nbytes: int) -> BufferLease:
+        """A buffer for a message of ``nbytes`` sent by task ``tid``.
+
+        Fits the fast buffer -> zero fresh pages.  Otherwise a fresh
+        near-shared region on the sender's hypernode, every page of which
+        must be mapped and first-touched.
+        """
+        if nbytes <= 0:
+            raise ValueError("message size must be positive")
+        if nbytes <= self._fast_bytes:
+            base = self._fastbufs.get(tid)
+            if base is None:
+                region = self.machine.alloc(
+                    self._fast_bytes, MemClass.NEAR_SHARED,
+                    home_hypernode=hypernode, label=f"pvm-fastbuf-t{tid}")
+                base = region.base
+                self._fastbufs[tid] = base
+            return BufferLease(base, nbytes, 0, hypernode)
+        pages = -(-nbytes // self.config.page_bytes)
+        region = self.machine.alloc(
+            pages * self.config.page_bytes, MemClass.NEAR_SHARED,
+            home_hypernode=hypernode, label=f"pvm-buf-t{tid}")
+        return BufferLease(region.base, nbytes, pages, hypernode)

@@ -1,0 +1,162 @@
+"""Collective operations over PVM tasks.
+
+The paper's message-passing applications lean on collective patterns —
+the PIC code's charge-mesh all-reduce, the tree code's particle
+allgather — built from point-to-point PVM calls.  This module provides
+those patterns as generator functions to be driven from task bodies
+(``yield from pvm_allreduce(task, ...)``).  Tasks are addressed by their
+contiguous tids ``0 .. n_tasks-1``.
+
+Algorithms are the classic logarithmic ones (binomial trees, recursive
+doubling with a non-power-of-two fold-in), so collective costs on the
+simulated machine scale the way the real library's would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .system import PvmTask
+
+__all__ = ["pvm_barrier", "pvm_bcast", "pvm_reduce", "pvm_allreduce",
+           "pvm_gather"]
+
+# disjoint tag spaces per collective so concurrent phases cannot cross
+_TAG_BARRIER = 1 << 20
+_TAG_BCAST = 2 << 20
+_TAG_REDUCE = 3 << 20
+_TAG_ALLREDUCE = 4 << 20
+_TAG_GATHER = 5 << 20
+
+
+def _hypercube_peers(tid: int, n_tasks: int) -> List[int]:
+    peers = []
+    distance = 1
+    while distance < n_tasks:
+        peer = tid ^ distance
+        if peer < n_tasks:
+            peers.append(peer)
+        distance <<= 1
+    return peers
+
+
+def pvm_barrier(task: PvmTask, n_tasks: int, sequence: int = 0):
+    """Generator: dissemination barrier over ``n_tasks`` tasks."""
+    if n_tasks < 2:
+        return
+    tag = _TAG_BARRIER + sequence
+    distance = 1
+    while distance < n_tasks:
+        dest = (task.tid + distance) % n_tasks
+        src = (task.tid - distance) % n_tasks
+        yield from task.send(dest, None, nbytes=8, tag=tag + distance)
+        yield from task.recv(src, tag=tag + distance)
+        distance <<= 1
+
+
+def pvm_bcast(task: PvmTask, root: int, n_tasks: int, payload=None,
+              nbytes: int = 8, sequence: int = 0):
+    """Generator: binomial-tree broadcast; returns the payload everywhere."""
+    tag = _TAG_BCAST + sequence
+    # renumber so the root is rank 0
+    rank = (task.tid - root) % n_tasks
+    value = payload
+    # find the highest power of two <= rank: our parent in the tree
+    if rank != 0:
+        high_bit = 1
+        while high_bit * 2 <= rank:
+            high_bit <<= 1
+        parent = ((rank - high_bit) + root) % n_tasks
+        value = yield from task.recv(parent, tag=tag)
+    # forward to children
+    child_bit = 1 if rank == 0 else high_bit << 1
+    while rank + child_bit < n_tasks:
+        child = ((rank + child_bit) + root) % n_tasks
+        yield from task.send(child, value, nbytes=nbytes, tag=tag)
+        child_bit <<= 1
+    return value
+
+
+def pvm_reduce(task: PvmTask, root: int, n_tasks: int, value,
+               op: Callable, nbytes: int = 8, sequence: int = 0):
+    """Generator: binomial-tree reduction; root returns the result,
+    everyone else returns None."""
+    tag = _TAG_REDUCE + sequence
+    rank = (task.tid - root) % n_tasks
+    acc = value
+    bit = 1
+    while bit < n_tasks:
+        if rank & bit:
+            parent = ((rank & ~bit) + root) % n_tasks
+            yield from task.send(parent, acc, nbytes=nbytes, tag=tag + bit)
+            return None
+        peer_rank = rank | bit
+        if peer_rank < n_tasks:
+            contribution = yield from task.recv(
+                ((peer_rank + root) % n_tasks), tag=tag + bit)
+            acc = op(acc, contribution)
+        bit <<= 1
+    return acc
+
+
+def pvm_allreduce(task: PvmTask, n_tasks: int, value, op: Callable,
+                  nbytes: int = 8, sequence: int = 0):
+    """Generator: all tasks return ``op``-combined value.
+
+    Recursive doubling over the largest power-of-two subset, with the
+    remainder folded in and the result fanned back out.
+    """
+    tag = _TAG_ALLREDUCE + sequence
+    pow2 = 1
+    while pow2 * 2 <= n_tasks:
+        pow2 *= 2
+    remainder = n_tasks - pow2
+    acc = value
+
+    # fold the tail into the power-of-two group
+    if task.tid >= pow2:
+        yield from task.send(task.tid - pow2, acc, nbytes, tag=tag)
+    elif task.tid < remainder:
+        other = yield from task.recv(task.tid + pow2, tag=tag)
+        acc = op(acc, other)
+
+    if task.tid < pow2:
+        distance = 1
+        while distance < pow2:
+            peer = task.tid ^ distance
+            yield from task.send(peer, acc, nbytes, tag=tag + distance)
+            other = yield from task.recv(peer, tag=tag + distance)
+            acc = op(acc, other)
+            distance <<= 1
+
+    # fan the result back to the tail
+    if task.tid < remainder:
+        yield from task.send(task.tid + pow2, acc, nbytes, tag=tag + pow2)
+    elif task.tid >= pow2:
+        acc = yield from task.recv(task.tid - pow2, tag=tag + pow2)
+    return acc
+
+
+def pvm_gather(task: PvmTask, root: int, n_tasks: int, value,
+               nbytes: int = 8, sequence: int = 0):
+    """Generator: root returns the list of every task's value (tid
+    order); everyone else returns None.  Simple linear gather, as early
+    PVM applications did."""
+    tag = _TAG_GATHER + sequence
+    if task.tid == root:
+        out = [None] * n_tasks
+        out[root] = value
+        for other in range(n_tasks):
+            if other == root:
+                continue
+            payload, sender = yield from _recv_with_source(task, tag)
+            out[sender] = payload
+        return out
+    yield from task.send(root, (task.tid, value), nbytes, tag=tag)
+    return None
+
+
+def _recv_with_source(task: PvmTask, tag: int):
+    payload = yield from task.recv(tag=tag)
+    sender, value = payload
+    return value, sender

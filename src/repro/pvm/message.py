@@ -1,0 +1,39 @@
+"""PVM message representation and matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Message", "ANY_SOURCE", "ANY_TAG", "matches"]
+
+#: wildcard source (PVM's -1)
+ANY_SOURCE = -1
+#: wildcard tag (PVM's -1)
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight message.
+
+    ``payload`` carries the actual Python/NumPy data; ``buffer_addr`` /
+    ``nbytes`` locate the simulated shared-memory buffer that models its
+    storage, so transfer costs are charged against real simulated memory.
+    """
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    payload: object
+    buffer_addr: int
+    seq: int
+
+
+def matches(msg: Message, source: int, tag: int) -> bool:
+    """PVM receive matching: wildcards via ANY_SOURCE / ANY_TAG."""
+    if source != ANY_SOURCE and msg.src != source:
+        return False
+    if tag != ANY_TAG and msg.tag != tag:
+        return False
+    return True

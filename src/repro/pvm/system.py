@@ -1,0 +1,199 @@
+"""The ConvexPVM system: one daemon, shared-buffer message passing.
+
+Unlike network PVM, ConvexPVM runs a **single daemon for the whole
+machine** (paper §3.1); tasks hand messages to each other directly
+through shared buffers, and the daemon is only involved in task
+management.  ``send``/``recv`` therefore cost:
+
+* library overhead (``pvm_send/recv_overhead_cycles``),
+* buffer acquisition (free on the ≤8 KB fast path, page map + first
+  touch beyond it),
+* a pack (streamed ``write_block``) into the shared buffer,
+* a notify store to the receiver's mail flag — a plain coherent store,
+  so notifying a task on another hypernode pays the SCI round trip,
+* on the receive side, matching plus a streamed ``read_block`` of the
+  buffer (remote if the buffer lives on the sender's hypernode).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..machine import Machine
+from ..runtime import Placement, Runtime, ThreadEnv
+from .buffers import BufferPool
+from .message import ANY_SOURCE, ANY_TAG, Message, matches
+
+__all__ = ["PvmTask", "PvmSystem", "Request"]
+
+
+class Request:
+    """Handle for a nonblocking receive (ConvexPVM's ``nrecv`` style).
+
+    ``test()`` polls without blocking; ``wait()`` is a generator that
+    blocks the task until the message is in and returns the payload.
+    """
+
+    def __init__(self, task: "PvmTask", source: int, tag: int):
+        self.task = task
+        self.source = source
+        self.tag = tag
+        self._msg = None
+        self._unpacked = False
+
+    def test(self) -> bool:
+        """True once a matching message has arrived (claims it)."""
+        if self._msg is not None:
+            return True
+        self._msg = self.task._take(self.source, self.tag)
+        return self._msg is not None
+
+    def wait(self):
+        """Generator: block until complete; returns the payload.
+
+        The unpack (buffer access) cost is charged here, once.
+        """
+        env = self.task.env
+        if self._msg is None:
+            yield env.spin(self.task._mail_flag, lambda _v: self.test())
+        if not self._unpacked:
+            yield env.read_block(self._msg.buffer_addr, self._msg.nbytes)
+            self.task.received_messages += 1
+            self._unpacked = True
+        return self._msg.payload
+
+
+class PvmTask:
+    """A PVM task: a thread with a mailbox and send/recv operations."""
+
+    def __init__(self, system: "PvmSystem", tid: int, env: ThreadEnv):
+        self.system = system
+        self.tid = tid
+        self.env = env
+        self.mailbox: List[Message] = []
+        self._mail_flag = system.runtime.alloc_sync_word(env.hypernode, 0)
+        # Senders serialise on this lock word (homed on the receiver's
+        # hypernode) to insert into the mailbox — a remote sender pays an
+        # SCI round trip for it.
+        self._mail_lock = system.runtime.alloc_sync_word(env.hypernode, 0)
+        self._mail_seq = 0
+        self.sent_messages = 0
+        self.received_messages = 0
+
+    # -- messaging ---------------------------------------------------------
+    def send(self, dest_tid: int, payload, nbytes: int, tag: int = 0):
+        """Generator: pack ``payload`` into a shared buffer and post it."""
+        system, env, cfg = self.system, self.env, self.system.config
+        dest = system.task(dest_tid)
+        yield env.compute(cfg.pvm_send_overhead_cycles)
+        lease = system.buffers.acquire(self.tid, env.hypernode, nbytes)
+        if lease.fresh_pages:
+            remote_dest = dest.env.hypernode != env.hypernode
+            per_page = (cfg.page_touch_remote_cycles if remote_dest
+                        else cfg.page_touch_local_cycles)
+            yield env.compute(per_page * lease.fresh_pages)
+        yield env.write_block(lease.addr, nbytes)      # pack
+        yield env.fetch_add(dest._mail_lock, 1)        # mailbox insert lock
+        dest._mail_seq += 1
+        msg = Message(self.tid, dest_tid, tag, nbytes, payload,
+                      lease.addr, dest._mail_seq)
+        dest.mailbox.append(msg)
+        yield env.store(dest._mail_flag, dest._mail_seq)   # notify
+        self.sent_messages += 1
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator: block until a matching message arrives; returns payload."""
+        system, env, cfg = self.system, self.env, self.system.config
+        yield env.compute(cfg.pvm_recv_overhead_cycles)
+        msg = self._take(source, tag)
+        if msg is None:
+            yield env.spin(self._mail_flag,
+                           lambda _v: self._peek(source, tag) is not None)
+            msg = self._take(source, tag)
+            assert msg is not None
+        yield env.read_block(msg.buffer_addr, msg.nbytes)  # access/unpack
+        self.received_messages += 1
+        return msg.payload
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking: is a matching message waiting?"""
+        return self._peek(source, tag) is not None
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+              ) -> "Request":
+        """Nonblocking receive: returns a :class:`Request` immediately.
+
+        Drive completion with ``request.test()`` (poll) or
+        ``yield from request.wait()`` (block).
+        """
+        return Request(self, source, tag)
+
+    def _peek(self, source: int, tag: int) -> Optional[Message]:
+        for msg in self.mailbox:
+            if matches(msg, source, tag):
+                return msg
+        return None
+
+    def _take(self, source: int, tag: int) -> Optional[Message]:
+        for i, msg in enumerate(self.mailbox):
+            if matches(msg, source, tag):
+                return self.mailbox.pop(i)
+        return None
+
+
+class PvmSystem:
+    """Task registry + buffer pool (the daemon's bookkeeping role)."""
+
+    def __init__(self, runtime: Runtime):
+        self.runtime = runtime
+        self.machine: Machine = runtime.machine
+        self.config = runtime.config
+        self.buffers = BufferPool(self.machine)
+        self._tasks: Dict[int, PvmTask] = {}
+
+    def task(self, tid: int) -> PvmTask:
+        try:
+            return self._tasks[tid]
+        except KeyError:
+            raise KeyError(f"no PVM task with tid {tid}") from None
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self._tasks)
+
+    def run_tasks(self, n_tasks: int, body: Callable,
+                  placement: Placement = Placement.HIGH_LOCALITY):
+        """Run ``body(task, tid)`` on ``n_tasks`` tasks; returns results.
+
+        ``body`` is a generator function; tasks are placed like threads
+        and joined before this returns.  Returns the per-task results in
+        tid order.
+        """
+        self._tasks.clear()
+
+        def thread_body(env: ThreadEnv, tid: int):
+            task = self._tasks[tid]
+            result = yield from body(task, tid)
+            return result
+
+        def main(env: ThreadEnv):
+            # Pre-register tasks so early senders can address late starters.
+            from ..runtime.scheduler import assign
+            cpus = assign(self.config, n_tasks, placement)
+            for tid, cpu in enumerate(cpus):
+                task_env = ThreadEnv(self.runtime, -1, cpu)
+                self._tasks[tid] = PvmTask(self, tid, task_env)
+            results = yield from env.fork_join(n_tasks, self._bound(body),
+                                               placement)
+            return results
+
+        return self.runtime.run(main)
+
+    def _bound(self, body):
+        def thread_body(env: ThreadEnv, tid: int):
+            task = self._tasks[tid]
+            # the task adopts the actual execution environment
+            task.env = env
+            result = yield from body(task, tid)
+            return result
+        return thread_body

@@ -1,0 +1,114 @@
+"""Parallel loop directives (paper §3.2).
+
+The Convex compilers lower loop-level directives onto CPSlib threads;
+this module provides the equivalent structured operations on the
+simulated machine:
+
+* :func:`parallel_for` — run loop iterations across a thread team
+  (block, cyclic, or chunked scheduling);
+* :func:`parallel_reduce` — a parallel loop whose per-thread partial
+  results are combined under a critical section (the directive form of
+  the FEM code's global maxima, §5.2.1).
+
+Iteration bodies are generator functions ``iteration(env, i)`` so they
+can touch simulated memory; scheduling is computed up front (the paper's
+codes are statically allocated — §6 discusses the cost of exactly that).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List
+
+from .runtime import ThreadEnv
+from .scheduler import Placement
+from .sync import CriticalSection
+
+__all__ = ["LoopSchedule", "iteration_slices", "parallel_for",
+           "parallel_reduce"]
+
+
+class LoopSchedule(enum.Enum):
+    BLOCK = "block"        #: contiguous slices (best spatial locality)
+    CYCLIC = "cyclic"      #: round-robin iterations
+    CHUNKED = "chunked"    #: round-robin chunks of fixed size
+
+
+def iteration_slices(n_iterations: int, n_threads: int,
+                     schedule: LoopSchedule = LoopSchedule.BLOCK,
+                     chunk: int = 1) -> List[List[int]]:
+    """Map iterations onto threads; every iteration exactly once."""
+    if n_iterations < 0:
+        raise ValueError("iteration count cannot be negative")
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    slices: List[List[int]] = [[] for _ in range(n_threads)]
+    if schedule is LoopSchedule.BLOCK:
+        base, extra = divmod(n_iterations, n_threads)
+        start = 0
+        for tid in range(n_threads):
+            count = base + (1 if tid < extra else 0)
+            slices[tid] = list(range(start, start + count))
+            start += count
+    elif schedule is LoopSchedule.CYCLIC:
+        for i in range(n_iterations):
+            slices[i % n_threads].append(i)
+    elif schedule is LoopSchedule.CHUNKED:
+        for chunk_id, start in enumerate(range(0, n_iterations, chunk)):
+            tid = chunk_id % n_threads
+            slices[tid].extend(
+                range(start, min(start + chunk, n_iterations)))
+    else:  # pragma: no cover - exhaustive
+        raise TypeError(f"unknown schedule {schedule!r}")
+    return slices
+
+
+def parallel_for(env: ThreadEnv, n_iterations: int, iteration: Callable,
+                 n_threads: int,
+                 placement: Placement = Placement.HIGH_LOCALITY,
+                 schedule: LoopSchedule = LoopSchedule.BLOCK,
+                 chunk: int = 1):
+    """Generator (``yield from``): run ``iteration(env, i)`` in parallel.
+
+    Returns the per-iteration results in iteration order.
+    """
+    slices = iteration_slices(n_iterations, n_threads, schedule, chunk)
+    results: List = [None] * n_iterations
+
+    def body(thread_env: ThreadEnv, tid: int):
+        for i in slices[tid]:
+            results[i] = yield from iteration(thread_env, i)
+        return None
+
+    yield from env.fork_join(n_threads, body, placement)
+    return results
+
+
+def parallel_reduce(env: ThreadEnv, n_iterations: int, iteration: Callable,
+                    combine: Callable, initial, n_threads: int,
+                    placement: Placement = Placement.HIGH_LOCALITY,
+                    schedule: LoopSchedule = LoopSchedule.BLOCK):
+    """Generator: parallel loop + reduction of per-thread partials.
+
+    Each thread folds its slice locally with ``combine``; partial
+    results enter the global accumulator one at a time under a critical
+    section, as the compiler's reduction directives do.
+    """
+    slices = iteration_slices(n_iterations, n_threads, schedule)
+    lock = CriticalSection(env.runtime, home_hypernode=env.hypernode)
+    box = {"value": initial}
+
+    def body(thread_env: ThreadEnv, tid: int):
+        partial = initial
+        for i in slices[tid]:
+            value = yield from iteration(thread_env, i)
+            partial = combine(partial, value)
+        yield from lock.acquire(thread_env)
+        box["value"] = combine(box["value"], partial)
+        yield from lock.release(thread_env)
+        return partial
+
+    yield from env.fork_join(n_threads, body, placement)
+    return box["value"]

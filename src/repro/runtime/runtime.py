@@ -1,0 +1,251 @@
+"""The thread runtime: CPSlib-style spawn / fork-join on the simulated machine.
+
+A *thread body* is a generator function ``body(env, tid)`` that yields
+machine operations through its :class:`ThreadEnv`.  The runtime places
+threads on CPUs (:mod:`repro.runtime.scheduler`), charges the software
+costs of thread creation, dispatch, and joining, and performs the actual
+synchronisation through simulated memory — so a fork-join across two
+hypernodes is more expensive than a local one for mechanistic reasons
+(remote descriptor stores, remote join atomics, one-time cross-kernel
+setup), exactly the effects Figure 2 of the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..machine import Machine, MemClass
+from ..machine.address import Region
+from .scheduler import Placement, assign, hypernodes_used
+
+__all__ = ["ThreadEnv", "Runtime", "AsyncThread"]
+
+
+class AsyncThread:
+    """Handle on an asynchronous thread (paper §3.2).
+
+    The child runs independently of its parent; any thread may
+    ``yield from handle.join(env)`` to wait for its result.
+    """
+
+    def __init__(self, runtime: "Runtime", tid: int, cpu: int,
+                 done_flag: int):
+        self.runtime = runtime
+        self.tid = tid
+        self.cpu = cpu
+        self._done_flag = done_flag
+        self.result = None
+
+    @property
+    def finished(self) -> bool:
+        return self.runtime.machine.peek(self._done_flag) == 1
+
+    def join(self, env: "ThreadEnv"):
+        """Generator: wait for the child; returns its result."""
+        cfg = self.runtime.config
+        if not self.finished:
+            yield env.spin(self._done_flag, lambda v: v == 1)
+        yield env.compute(cfg.join_per_thread_cycles)
+        return self.result
+
+
+class ThreadEnv:
+    """A thread's handle on the machine: all operations are CPU-bound."""
+
+    def __init__(self, runtime: "Runtime", tid: int, cpu: int):
+        self.runtime = runtime
+        self.machine = runtime.machine
+        self.sim = runtime.machine.sim
+        self.tid = tid
+        self.cpu = cpu
+        self.hypernode = runtime.machine.topology.hypernode_of(cpu)
+
+    # -- time -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def compute(self, cycles: float):
+        """Event: execute ``cycles`` of computation."""
+        return self.machine.compute(self.cpu, cycles)
+
+    def timestamp(self):
+        """Process: read the clock (costs timer overhead); returns time."""
+        return self.machine.timestamp(self.cpu)
+
+    # -- memory -----------------------------------------------------------
+    def load(self, addr: int):
+        return self.machine.load(self.cpu, addr)
+
+    def store(self, addr: int, value):
+        return self.machine.store(self.cpu, addr, value)
+
+    def fetch_add(self, addr: int, delta=1):
+        return self.machine.fetch_add(self.cpu, addr, delta)
+
+    def read_block(self, addr: int, nbytes: int):
+        return self.machine.read_block(self.cpu, addr, nbytes)
+
+    def write_block(self, addr: int, nbytes: int):
+        return self.machine.write_block(self.cpu, addr, nbytes)
+
+    def spin(self, addr: int, predicate):
+        return self.machine.spin_until(self.cpu, addr, predicate)
+
+    def alloc_private(self, size: int, label: str = "") -> Region:
+        """Thread-private memory homed on this thread's functional unit."""
+        loc = self.machine.topology.locate(self.cpu)
+        return self.machine.alloc(size, MemClass.THREAD_PRIVATE,
+                                  home_hypernode=loc.hypernode,
+                                  home_fu=loc.fu, label=label)
+
+    # -- structured parallelism -------------------------------------------
+    def fork_join(self, n_threads: int, body,
+                  placement: Placement = Placement.HIGH_LOCALITY):
+        """Generator (use ``yield from``): spawn a team, run it, join it.
+
+        The paper's *synchronous* thread class (§3.2): children join in
+        a barrier and the parent resumes only after all have finished.
+        Returns the list of the children's return values in tid order.
+        """
+        return self.runtime._fork_join(self, n_threads, body, placement)
+
+    def spawn_async(self, body, cpu: Optional[int] = None):
+        """Generator: spawn an *asynchronous* thread (§3.2).
+
+        The parent pays the spawn cost, then continues without waiting;
+        the returned :class:`AsyncThread` handle joins later with
+        ``result = yield from handle.join(env)``.
+        """
+        return self.runtime._spawn_async(self, body, cpu)
+
+
+class Runtime:
+    """Owns thread bookkeeping and the per-hypernode sync-word pools."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.sim = machine.sim
+        self.config = machine.config
+        self._next_tid = 0
+        # Per-hypernode pools for runtime synchronisation words; every word
+        # gets its own cache line to avoid false sharing.
+        self._sync_pools: Dict[int, Region] = {}
+        self._sync_next: Dict[int, int] = {}
+        #: hypernodes this "process" has already spun kernel structures up
+        #: on; the first fork that touches a new one pays cross-node setup.
+        self._touched_hypernodes = {0}
+        #: round-robin cursor for asynchronous thread placement
+        self._async_next_cpu = 1
+
+    # -- synchronisation words ---------------------------------------------
+    def alloc_sync_word(self, home_hypernode: int = 0, initial=0) -> int:
+        """A line-isolated shared word homed on ``home_hypernode``."""
+        pool = self._sync_pools.get(home_hypernode)
+        offset = self._sync_next.get(home_hypernode, 0)
+        if pool is None or offset >= pool.size:
+            pool = self.machine.alloc(
+                16 * self.config.page_bytes, MemClass.NEAR_SHARED,
+                home_hypernode=home_hypernode,
+                label=f"sync-pool-hn{home_hypernode}")
+            self._sync_pools[home_hypernode] = pool
+            offset = 0
+        self._sync_next[home_hypernode] = offset + self.config.line_bytes
+        addr = pool.addr(offset)
+        self.machine.poke(addr, initial)
+        return addr
+
+    # -- top-level entry -----------------------------------------------------
+    def main_env(self, cpu: int = 0) -> ThreadEnv:
+        env = ThreadEnv(self, self._next_tid, cpu)
+        self._next_tid += 1
+        return env
+
+    def run(self, body, cpu: int = 0):
+        """Run ``body(env)`` as the main thread; returns its result."""
+        env = self.main_env(cpu)
+        proc = self.sim.process(body(env))
+        return self.sim.run(until=proc)
+
+    # -- fork-join -------------------------------------------------------------
+    def _fork_join(self, parent: ThreadEnv, n_threads: int, body,
+                   placement: Placement):
+        cfg = self.config
+        machine = self.machine
+        cpus = assign(cfg, n_threads, placement)
+        target_hns = hypernodes_used(cfg, cpus)
+
+        # One-time kernel-to-kernel setup for newly touched hypernodes
+        # (the ~50 us step in Figure 2 when a second hypernode joins).
+        for hn in target_hns:
+            if hn not in self._touched_hypernodes:
+                self._touched_hypernodes.add(hn)
+                yield parent.compute(cfg.cross_node_setup_cycles)
+
+        join_count = self.alloc_sync_word(parent.hypernode)
+        done_flag = self.alloc_sync_word(parent.hypernode)
+        results: List = [None] * n_threads
+        for tid_in_team, cpu in enumerate(cpus):
+            child_hn = machine.topology.hypernode_of(cpu)
+            spawn_cycles = cfg.spawn_local_cycles
+            if child_hn != parent.hypernode:
+                spawn_cycles += cfg.spawn_remote_extra_cycles
+            yield parent.compute(spawn_cycles)
+            # The work descriptor lives on the child's hypernode: handing
+            # work to a remote CPU pays a remote ownership transfer.
+            desc = self.alloc_sync_word(child_hn)
+            yield parent.store(desc, tid_in_team)
+            child_env = ThreadEnv(self, self._next_tid, cpu)
+            self._next_tid += 1
+            self.sim.process(self._child(
+                child_env, body, tid_in_team, desc, join_count, done_flag,
+                n_threads, results))
+
+        yield parent.spin(done_flag, lambda v: v == 1)
+        yield parent.compute(cfg.join_per_thread_cycles * n_threads)
+        return results
+
+    # -- asynchronous threads ------------------------------------------------
+    def _spawn_async(self, parent: ThreadEnv, body, cpu: Optional[int]):
+        cfg = self.config
+        machine = self.machine
+        if cpu is None:
+            cpu = self._async_next_cpu % cfg.n_cpus
+            self._async_next_cpu += 1
+        elif not 0 <= cpu < cfg.n_cpus:
+            raise ValueError(f"cpu {cpu} out of range")
+        child_hn = machine.topology.hypernode_of(cpu)
+        if child_hn not in self._touched_hypernodes:
+            self._touched_hypernodes.add(child_hn)
+            yield parent.compute(cfg.cross_node_setup_cycles)
+        spawn_cycles = cfg.spawn_local_cycles
+        if child_hn != parent.hypernode:
+            spawn_cycles += cfg.spawn_remote_extra_cycles
+        yield parent.compute(spawn_cycles)
+        desc = self.alloc_sync_word(child_hn)
+        yield parent.store(desc, 1)
+        done_flag = self.alloc_sync_word(child_hn)
+        child_env = ThreadEnv(self, self._next_tid, cpu)
+        self._next_tid += 1
+        handle = AsyncThread(self, child_env.tid, cpu, done_flag)
+
+        def child():
+            yield child_env.load(desc)
+            result = yield from body(child_env, child_env.tid)
+            handle.result = result
+            yield child_env.store(done_flag, 1)
+
+        self.sim.process(child())
+        return handle
+
+    def _child(self, env: ThreadEnv, body, tid_in_team: int, desc: int,
+               join_count: int, done_flag: int, n_threads: int,
+               results: List):
+        # pick up the work descriptor
+        yield env.load(desc)
+        result = yield from body(env, tid_in_team)
+        results[tid_in_team] = result
+        old = yield env.fetch_add(join_count, 1)
+        if old == n_threads - 1:
+            # last child releases the joining parent through the cache
+            yield env.store(done_flag, 1)

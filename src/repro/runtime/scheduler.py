@@ -1,0 +1,64 @@
+"""Thread placement policies (paper §4).
+
+The paper measures every primitive under two placements:
+
+* **high locality** — the first 8 threads fill one hypernode, subsequent
+  threads spill onto the next;
+* **uniform distribution** — each hypernode receives an equal share of
+  the threads (except the 1-thread case).
+
+``assign`` maps a thread count and policy to a list of CPU ids.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from ..core.config import MachineConfig
+
+__all__ = ["Placement", "assign"]
+
+
+class Placement(enum.Enum):
+    HIGH_LOCALITY = "high_locality"
+    UNIFORM = "uniform"
+
+
+def assign(config: MachineConfig, n_threads: int,
+           placement: Placement = Placement.HIGH_LOCALITY) -> List[int]:
+    """CPU ids for ``n_threads`` threads under ``placement``.
+
+    Threads are never oversubscribed: ``n_threads`` must not exceed the
+    machine's CPU count.
+    """
+    if not 1 <= n_threads <= config.n_cpus:
+        raise ValueError(
+            f"{n_threads} threads do not fit on {config.n_cpus} CPUs")
+    if placement is Placement.HIGH_LOCALITY:
+        return list(range(n_threads))
+    if placement is Placement.UNIFORM:
+        if n_threads == 1:
+            return [0]
+        per_hn = config.cpus_per_hypernode
+        cpus = []
+        for i in range(n_threads):
+            hn = i % config.n_hypernodes
+            idx = i // config.n_hypernodes
+            if idx >= per_hn:
+                raise ValueError(
+                    f"uniform placement of {n_threads} threads overflows "
+                    f"hypernode {hn}")
+            cpus.append(hn * per_hn + idx)
+        return cpus
+    raise TypeError(f"unknown placement {placement!r}")
+
+
+def hypernodes_used(config: MachineConfig, cpus: List[int]) -> List[int]:
+    """Distinct hypernodes touched by a CPU assignment, in order."""
+    seen: List[int] = []
+    for cpu in cpus:
+        hn = cpu // config.cpus_per_hypernode
+        if hn not in seen:
+            seen.append(hn)
+    return seen

@@ -1,0 +1,96 @@
+"""Runtime synchronisation primitives built on simulated memory.
+
+These are the CPSlib-level objects the paper's compiler directives lower
+to (§3.2): counting semaphores (uncached atomics), ticket-lock critical
+sections, and gates.  All methods returning generators must be driven
+with ``yield from`` inside a thread body.
+"""
+
+from __future__ import annotations
+
+
+from .runtime import Runtime, ThreadEnv
+
+__all__ = ["CountingSemaphore", "CriticalSection", "Gate"]
+
+
+class CountingSemaphore:
+    """An uncached counting semaphore (fetch&add at its home bank).
+
+    Matches the primitive the paper's barrier uses: operations bypass the
+    caches, so they cost a memory round trip but never invalidate.
+    """
+
+    def __init__(self, runtime: Runtime, initial: int = 0,
+                 home_hypernode: int = 0):
+        self.runtime = runtime
+        self.addr = runtime.alloc_sync_word(home_hypernode, initial)
+
+    def add(self, env: ThreadEnv, delta: int = 1):
+        """Generator: atomically add ``delta``; returns the old value."""
+        old = yield env.fetch_add(self.addr, delta)
+        return old
+
+    @property
+    def value(self) -> int:
+        """Current value (instantaneous, for assertions)."""
+        return self.runtime.machine.peek(self.addr)
+
+
+class CriticalSection:
+    """A ticket lock: fetch&add for tickets, cached spin on now-serving.
+
+    This is how the compiler's ``critical section`` directive behaves:
+    waiters spin locally in cache and are released one at a time by the
+    owner's now-serving store (one invalidation per handoff).
+    """
+
+    def __init__(self, runtime: Runtime, home_hypernode: int = 0):
+        self.runtime = runtime
+        self.ticket_addr = runtime.alloc_sync_word(home_hypernode, 0)
+        self.serving_addr = runtime.alloc_sync_word(home_hypernode, 0)
+
+    def acquire(self, env: ThreadEnv):
+        """Generator: block until the lock is held by this thread."""
+        ticket = yield env.fetch_add(self.ticket_addr, 1)
+        serving = yield env.load(self.serving_addr)
+        if serving != ticket:
+            yield env.spin(self.serving_addr, lambda v: v == ticket)
+        return ticket
+
+    def release(self, env: ThreadEnv):
+        """Generator: hand the lock to the next ticket holder."""
+        serving = yield env.load(self.serving_addr)
+        yield env.store(self.serving_addr, serving + 1)
+
+    def critical(self, env: ThreadEnv, body_cycles: float):
+        """Generator: acquire, compute ``body_cycles``, release."""
+        yield from self.acquire(env)
+        yield env.compute(body_cycles)
+        yield from self.release(env)
+
+
+class Gate:
+    """A binary event: threads wait until some thread opens it."""
+
+    def __init__(self, runtime: Runtime, home_hypernode: int = 0):
+        self.runtime = runtime
+        self.addr = runtime.alloc_sync_word(home_hypernode, 0)
+
+    def wait(self, env: ThreadEnv):
+        """Generator: block until the gate is open."""
+        value = yield env.load(self.addr)
+        if value != 1:
+            yield env.spin(self.addr, lambda v: v == 1)
+
+    def open(self, env: ThreadEnv):
+        """Generator: open the gate, releasing all waiters."""
+        yield env.store(self.addr, 1)
+
+    def close(self, env: ThreadEnv):
+        """Generator: re-arm the gate."""
+        yield env.store(self.addr, 0)
+
+    @property
+    def is_open(self) -> bool:
+        return self.runtime.machine.peek(self.addr) == 1

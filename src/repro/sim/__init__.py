@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel used by the SPP-1000 machine model.
+
+Public surface:
+
+* :class:`Simulator` — the event loop (time in nanoseconds)
+* :class:`Event`, :class:`Timeout`, :class:`Condition` — awaitables
+* :class:`Process` — generator-based simulated activities
+* :class:`Resource`, :class:`Store`, :class:`PriorityStore` — sim-time
+  coordination objects used inside the machine model
+* :class:`Tracer` — trace/counter collection
+"""
+
+from .engine import Condition, Event, Simulator, Timeout
+from .errors import (
+    DeadlockError,
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+)
+from .process import Process
+from .resources import PriorityStore, Resource, Store
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator", "Event", "Timeout", "Condition", "Process",
+    "Resource", "Store", "PriorityStore", "Tracer", "TraceRecord",
+    "SimulationError", "Interrupt", "DeadlockError", "EventAlreadyTriggered",
+]

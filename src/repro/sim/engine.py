@@ -1,0 +1,267 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic event-heap simulator in the style of SimPy, reduced
+to exactly what the SPP-1000 machine model needs: events, timeouts,
+generator-based processes, and condition events (``all_of`` / ``any_of``).
+
+Simulated time is a ``float`` measured in **nanoseconds** throughout this
+project (the SPP-1000 has a 10 ns clock, so one CPU cycle = 10.0).
+
+Typical use::
+
+    sim = Simulator()
+
+    def worker(sim, out):
+        yield sim.timeout(25.0)
+        out.append(sim.now)
+
+    out = []
+    sim.process(worker(sim, out))
+    sim.run()
+    assert out == [25.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Generator, Iterable, Optional
+
+from .errors import (
+    DeadlockError,
+    EventAlreadyTriggered,
+    SimulationError,
+)
+
+__all__ = ["Event", "Timeout", "Condition", "Simulator"]
+
+_UNSET = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *untriggered*; calling :meth:`succeed` or :meth:`fail`
+    triggers it and schedules its callbacks to run at the current simulation
+    time.  Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "callbacks", "defused", "_value", "_ok", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: callables invoked with this event once it has been processed
+        self.callbacks: Optional[list] = []
+        #: set True by a waiter that handled this event's failure itself
+        self.defused = False
+        self._value = _UNSET
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not _UNSET
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event has left the queue)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self):
+        """The success value or failure exception carried by the event."""
+        if self._value is _UNSET:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value=None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._value is not _UNSET:
+            raise EventAlreadyTriggered(repr(self))
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception thrown into waiting processes."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _UNSET:
+            raise EventAlreadyTriggered(repr(self))
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value=None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+
+
+class Condition(Event):
+    """An event that triggers when a predicate over child events holds.
+
+    Used through :meth:`Simulator.all_of` / :meth:`Simulator.any_of`.  The
+    value of a condition is a dict mapping each *triggered* child event to
+    its value.
+    """
+
+    __slots__ = ("_events", "_need", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], need: int):
+        super().__init__(sim)
+        self._events = tuple(events)
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from simulators")
+        self._need = min(need, len(self._events))
+        self._count = 0
+        if not self._events or self._need <= 0:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True  # suppress "unhandled failure" semantics
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._count >= self._need:
+            self.succeed(
+                {ev: ev.value for ev in self._events if ev.triggered and ev.ok}
+            )
+
+
+class Simulator:
+    """The event loop: an event heap ordered by (time, sequence)."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list = []
+        self._seq = itertools.count()
+        self._active_process = None
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """An event that fires once *all* ``events`` have succeeded."""
+        events = tuple(events)
+        return Condition(self, events, need=len(events))
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """An event that fires once *any one* of ``events`` has succeeded."""
+        return Condition(self, tuple(events), need=1)
+
+    def process(self, generator: Generator):
+        """Start a new :class:`~repro.sim.process.Process` from a generator."""
+        from .process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` ns; returns the underlying event."""
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- execution --------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        time, _seq, event = heapq.heappop(self._queue)
+        if time < self._now - 1e-12:
+            raise SimulationError("event scheduled in the past")
+        self._now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not event.defused:
+            # A failed event nobody waited on: surface the error loudly
+            # rather than silently dropping it.
+            raise event.value
+
+    def run(self, until: "float | Event | None" = None):
+        """Run the event loop.
+
+        ``until`` may be ``None`` (drain the queue), a time (run up to and
+        including that instant), or an :class:`Event` (run until it has been
+        processed, returning its value; raises :class:`DeadlockError` if the
+        queue drains first).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._queue:
+                    raise DeadlockError(
+                        "event queue drained before target event triggered")
+                self.step()
+            if sentinel.ok:
+                return sentinel.value
+            raise sentinel.value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError("cannot run backwards in time")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = max(self._now, horizon)
+        return None

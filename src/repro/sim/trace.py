@@ -1,0 +1,60 @@
+"""Event tracing for the simulator.
+
+The machine model emits trace records (cache misses, ring transfers,
+coherence invalidations, ...) through a :class:`Tracer`.  Tracing costs
+nothing when disabled, and recorded traces are the raw material for the
+measurement methodology in :mod:`repro.core.stats` (the paper corrects its
+timings for instrumentation overhead; we expose the analogous hooks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence: ``(time_ns, category, payload)``."""
+
+    time: float
+    category: str
+    payload: Tuple = ()
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered by category."""
+
+    def __init__(self, enabled: bool = False,
+                 categories: Optional[Iterable[str]] = None):
+        self.enabled = enabled
+        self.categories = frozenset(categories) if categories else None
+        self.records: List[TraceRecord] = []
+        self._counters: Dict[str, int] = {}
+
+    def emit(self, time: float, category: str, *payload) -> None:
+        """Record an occurrence (cheap no-op when disabled)."""
+        self._counters[category] = self._counters.get(category, 0) + 1
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time, category, payload))
+
+    def count(self, category: str) -> int:
+        """Number of occurrences of ``category`` (counted even when disabled)."""
+        return self._counters.get(category, 0)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._counters.clear()
+
+    def select(self, category: str) -> List[TraceRecord]:
+        """All recorded records of one category (requires ``enabled``)."""
+        return [r for r in self.records if r.category == category]

@@ -1,0 +1,16 @@
+"""Observability tools mirroring the instrumentation the paper relied on.
+
+* :mod:`repro.tools.cxpa` — CXpa-style per-phase/per-thread profiling
+* :mod:`repro.tools.hpm` — hardware-performance-monitor counter reports
+* :mod:`repro.tools.validate` — analytic-model-vs-simulation audit
+"""
+
+from .cxpa import CxpaProfiler, CxpaReport, PhaseStats
+from .hpm import HpmSnapshot, collect, diff, render
+from .validate import ValidationRow, render_validation, validate_primitives
+
+__all__ = [
+    "CxpaProfiler", "CxpaReport", "PhaseStats",
+    "HpmSnapshot", "collect", "diff", "render",
+    "ValidationRow", "validate_primitives", "render_validation",
+]

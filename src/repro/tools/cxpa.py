@@ -1,0 +1,123 @@
+"""CXpa-style parallel profiler (paper §6).
+
+The paper credits Convex's CXpa profiler with exposing "at least coarse
+grained imbalances in execution across the parallel resources", and
+credits that visibility for rapid optimisation.  This module provides
+the analogous view for workloads run through the performance model:
+per-phase, per-thread time breakdowns, imbalance factors, and a rendered
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.config import MachineConfig
+from ..core.tables import Table
+from ..core.units import to_us
+from ..perfmodel import PerformanceModel, StepWork, TeamSpec
+
+__all__ = ["PhaseStats", "CxpaReport", "CxpaProfiler"]
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Cross-thread statistics of one phase."""
+
+    name: str
+    times_ns: tuple          #: per participating thread
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self.times_ns) / len(self.times_ns)
+
+    @property
+    def max_ns(self) -> float:
+        return max(self.times_ns)
+
+    @property
+    def min_ns(self) -> float:
+        return min(self.times_ns)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean — 1.0 is perfectly balanced."""
+        mean = self.mean_ns
+        return self.max_ns / mean if mean > 0 else 1.0
+
+
+@dataclass
+class CxpaReport:
+    """One profiled step."""
+
+    team: TeamSpec
+    phases: List[PhaseStats]
+    thread_totals_ns: List[float]
+    barrier_ns: float
+    step_ns: float
+
+    @property
+    def critical_path_ns(self) -> float:
+        return max(self.thread_totals_ns) if self.thread_totals_ns else 0.0
+
+    @property
+    def overall_imbalance(self) -> float:
+        total = sum(self.thread_totals_ns)
+        if not total:
+            return 1.0
+        mean = total / len(self.thread_totals_ns)
+        return self.critical_path_ns / mean
+
+    def hotspots(self, top: int = 3) -> List[PhaseStats]:
+        """The most expensive phases by mean time."""
+        return sorted(self.phases, key=lambda p: p.mean_ns,
+                      reverse=True)[:top]
+
+    def render(self) -> str:
+        table = Table(
+            f"CXpa profile: {self.team.n_threads} threads on "
+            f"{self.team.n_hypernodes_used} hypernode(s)",
+            ["phase", "mean us", "max us", "min us", "imbalance"])
+        for phase in self.phases:
+            table.add_row(phase.name, to_us(phase.mean_ns),
+                          to_us(phase.max_ns), to_us(phase.min_ns),
+                          f"{phase.imbalance:.2f}")
+        table.add_row("(barriers)", to_us(self.barrier_ns),
+                      to_us(self.barrier_ns), to_us(self.barrier_ns), "-")
+        lines = [table.render(),
+                 f"step time {to_us(self.step_ns):.1f} us, overall "
+                 f"imbalance {self.overall_imbalance:.2f}"]
+        return "\n".join(lines)
+
+
+class CxpaProfiler:
+    """Profiles StepWork records against one machine configuration."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.model = PerformanceModel(config)
+
+    def profile(self, step: StepWork, team: TeamSpec) -> CxpaReport:
+        """Per-phase, per-thread breakdown of one step."""
+        from ..perfmodel.comm import barrier_ns
+
+        by_phase: Dict[str, List[float]] = {}
+        thread_totals: List[float] = []
+        for tid, phases in enumerate(step.thread_phases):
+            total = 0.0
+            for phase in phases:
+                t = self.model.phase_time_ns(phase, team, tid)
+                by_phase.setdefault(phase.name, []).append(t)
+                total += t
+            thread_totals.append(total)
+        bar = step.barriers * barrier_ns(
+            self.config, team.n_threads, team.n_hypernodes_used)
+        return CxpaReport(
+            team=team,
+            phases=[PhaseStats(name, tuple(times))
+                    for name, times in by_phase.items()],
+            thread_totals_ns=thread_totals,
+            barrier_ns=bar,
+            step_ns=self.model.step_time_ns(step, team),
+        )

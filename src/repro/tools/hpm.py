@@ -1,0 +1,105 @@
+"""Hardware performance monitor (paper §6).
+
+"A valued aid in achieving such optimized codes was the availability of
+hardware supported instrumentation including counters for cache miss
+enumeration and timing."  This module collects every counter the
+simulated machine maintains — cache hits/misses/evictions/invalidations
+per CPU, TLB statistics, coherence events, ring and bank activity — and
+renders them the way a Convex ``hpm`` report would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.tables import Table
+from ..machine import Machine
+
+__all__ = ["HpmSnapshot", "collect", "diff", "render"]
+
+
+@dataclass(frozen=True)
+class HpmSnapshot:
+    """All machine counters at one instant."""
+
+    time_ns: float
+    per_cpu: tuple        #: dicts of per-CPU counters
+    events: Dict[str, int]
+    ring_transfers: tuple
+    bank_accesses: int
+
+    def total(self, counter: str) -> int:
+        return sum(c[counter] for c in self.per_cpu)
+
+    @property
+    def cache_miss_rate(self) -> float:
+        hits, misses = self.total("cache_hits"), self.total("cache_misses")
+        return misses / max(hits + misses, 1)
+
+
+def collect(machine: Machine) -> HpmSnapshot:
+    """Snapshot every counter of the machine."""
+    per_cpu = []
+    for cpu in range(machine.config.n_cpus):
+        cache = machine.caches[cpu]
+        tlb = machine.tlbs[cpu]
+        per_cpu.append({
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "cache_evictions": cache.evictions,
+            "cache_invalidations": cache.invalidations,
+            "tlb_hits": tlb.hits,
+            "tlb_misses": tlb.misses,
+        })
+    return HpmSnapshot(
+        time_ns=machine.sim.now,
+        per_cpu=tuple(per_cpu),
+        events=machine.tracer.counters,
+        ring_transfers=tuple(r.transfers for r in machine.net.rings),
+        bank_accesses=sum(b.accesses for b in machine.mem.banks),
+    )
+
+
+def diff(before: HpmSnapshot, after: HpmSnapshot) -> HpmSnapshot:
+    """Counter deltas over an interval (for timing a region)."""
+    per_cpu = tuple(
+        {k: a[k] - b[k] for k in a}
+        for a, b in zip(after.per_cpu, before.per_cpu))
+    events = {k: after.events.get(k, 0) - before.events.get(k, 0)
+              for k in set(after.events) | set(before.events)}
+    return HpmSnapshot(
+        time_ns=after.time_ns - before.time_ns,
+        per_cpu=per_cpu,
+        events={k: v for k, v in events.items() if v},
+        ring_transfers=tuple(a - b for a, b in zip(
+            after.ring_transfers, before.ring_transfers)),
+        bank_accesses=after.bank_accesses - before.bank_accesses,
+    )
+
+
+def render(snapshot: HpmSnapshot, per_cpu: bool = False) -> str:
+    """An hpm-style report."""
+    summary = Table("hpm summary", ["counter", "value"])
+    summary.add_row("elapsed (us)", snapshot.time_ns / 1000.0)
+    for counter in ("cache_hits", "cache_misses", "cache_evictions",
+                    "cache_invalidations", "tlb_hits", "tlb_misses"):
+        summary.add_row(counter, snapshot.total(counter))
+    summary.add_row("cache miss rate", f"{snapshot.cache_miss_rate:.2%}")
+    summary.add_row("ring transfers", sum(snapshot.ring_transfers))
+    summary.add_row("bank line accesses", snapshot.bank_accesses)
+    parts = [summary.render()]
+    if snapshot.events:
+        ev = Table("coherence / protocol events", ["event", "count"])
+        for name in sorted(snapshot.events):
+            ev.add_row(name, snapshot.events[name])
+        parts.append(ev.render())
+    if per_cpu:
+        t = Table("per-CPU counters",
+                  ["cpu", "hits", "misses", "evict", "inval", "tlb miss"])
+        for cpu, c in enumerate(snapshot.per_cpu):
+            t.add_row(cpu, c["cache_hits"], c["cache_misses"],
+                      c["cache_evictions"], c["cache_invalidations"],
+                      c["tlb_misses"])
+        parts.append(t.render())
+    return "\n\n".join(parts)

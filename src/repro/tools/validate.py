@@ -1,0 +1,89 @@
+"""Consistency audit: analytic primitive costs vs the simulated machine.
+
+The application performance model uses closed-form costs
+(:mod:`repro.perfmodel.comm`) derived from the same MachineConfig that
+drives the discrete-event simulation.  This tool sweeps both across the
+primitives' operating points and reports the ratio, so a configuration
+change that breaks their agreement is visible immediately (the test
+suite enforces the ratio band; this renders the full table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core import MachineConfig, Table, spp1000
+from ..core.units import to_us
+from ..experiments.fig2_forkjoin import forkjoin_time_us
+from ..experiments.fig3_barrier import barrier_metrics_us
+from ..experiments.fig4_message import round_trip_us
+from ..perfmodel import barrier_ns, forkjoin_ns, pvm_oneway_ns
+from ..runtime import Placement
+
+__all__ = ["ValidationRow", "validate_primitives", "render_validation"]
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One operating point of one primitive."""
+
+    primitive: str
+    operating_point: str
+    simulated_us: float
+    analytic_us: float
+
+    @property
+    def ratio(self) -> float:
+        return self.analytic_us / self.simulated_us
+
+    @property
+    def consistent(self) -> bool:
+        return 0.4 <= self.ratio <= 2.2
+
+
+def validate_primitives(config: Optional[MachineConfig] = None
+                        ) -> List[ValidationRow]:
+    """Sweep barrier / fork-join / PVM round trip; returns all rows."""
+    config = config or spp1000()
+    rows: List[ValidationRow] = []
+
+    for n, placement, hns in [(4, Placement.HIGH_LOCALITY, 1),
+                              (8, Placement.HIGH_LOCALITY, 1),
+                              (16, Placement.UNIFORM, 2)]:
+        simulated = barrier_metrics_us(n, placement, config, rounds=6)
+        rows.append(ValidationRow(
+            "barrier (LILO)", f"{n} threads / {hns} hn",
+            simulated["last_in_last_out"],
+            to_us(barrier_ns(config, n, hns))))
+
+    for n, placement, hns in [(4, Placement.HIGH_LOCALITY, 1),
+                              (8, Placement.HIGH_LOCALITY, 1),
+                              (16, Placement.UNIFORM, 2)]:
+        simulated = forkjoin_time_us(n, placement, config, repeats=2)
+        rows.append(ValidationRow(
+            "fork-join", f"{n} threads / {hns} hn",
+            simulated,
+            to_us(forkjoin_ns(config, n, hns, include_setup=True))))
+
+    for nbytes in (64, 8192, 65536):
+        for placement, remote in [(Placement.HIGH_LOCALITY, False),
+                                  (Placement.UNIFORM, True)]:
+            simulated = round_trip_us(nbytes, placement, config, repeats=2)
+            rows.append(ValidationRow(
+                "pvm round trip",
+                f"{nbytes} B / {'global' if remote else 'local'}",
+                simulated,
+                2 * to_us(pvm_oneway_ns(config, nbytes, remote))))
+    return rows
+
+
+def render_validation(rows: List[ValidationRow]) -> str:
+    table = Table("analytic model vs simulated machine",
+                  ["primitive", "operating point", "simulated us",
+                   "analytic us", "ratio", "ok"])
+    for row in rows:
+        table.add_row(row.primitive, row.operating_point,
+                      row.simulated_us, row.analytic_us,
+                      f"{row.ratio:.2f}", "yes" if row.consistent else "NO")
+    return table.render()

@@ -1,0 +1,71 @@
+"""End-to-end integration: the heat kernel on the simulated machine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import pvm_heat, serial_heat
+from repro.core import spp1000
+from repro.runtime import Placement
+
+
+def ic(n=64, seed=30):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, n)
+
+
+def test_serial_solver_conserves_heat_and_smooths():
+    u0 = ic()
+    u = serial_heat(u0, 50)
+    assert u.sum() == pytest.approx(u0.sum())
+    assert u.var() < u0.var()
+
+
+def test_serial_validation():
+    with pytest.raises(ValueError):
+        serial_heat(ic(), 1, alpha=0.9)
+
+
+@pytest.mark.parametrize("n_tasks", [1, 2, 4, 8])
+def test_pvm_run_is_bit_identical_to_serial(n_tasks):
+    u0 = ic()
+    expected = serial_heat(u0, 20)
+    result = pvm_heat(u0, 20, n_tasks)
+    assert np.array_equal(result.field, expected)
+
+
+def test_pvm_run_counts_messages():
+    result = pvm_heat(ic(), 10, 4)
+    assert result.messages == 4 * 2 * 10   # 2 sends per task per step
+    assert pvm_heat(ic(), 10, 1).messages == 0
+
+
+def test_cells_must_divide_over_tasks():
+    with pytest.raises(ValueError):
+        pvm_heat(ic(63), 5, 4)
+
+
+def test_cross_hypernode_run_pays_ring_costs():
+    u0 = ic()
+    local = pvm_heat(u0, 15, 2, placement=Placement.HIGH_LOCALITY)
+    crossed = pvm_heat(u0, 15, 2, placement=Placement.UNIFORM)
+    assert np.array_equal(local.field, crossed.field)
+    assert crossed.time_ns > 1.5 * local.time_ns
+
+
+def test_message_time_dominates_tiny_slabs():
+    """With one cell per task the run is pure communication; wall time
+    still advances and the answer is still exact."""
+    u0 = ic(8)
+    expected = serial_heat(u0, 5)
+    result = pvm_heat(u0, 5, 8)
+    assert np.array_equal(result.field, expected)
+    assert result.time_ns > 0
+
+
+def test_compute_scales_down_with_more_tasks():
+    u0 = ic(512)
+    t1 = pvm_heat(u0, 10, 1).time_ns
+    t8 = pvm_heat(u0, 10, 8).time_ns
+    # messages add overhead, but an 8-way split of a 512-cell slab
+    # must still win
+    assert t8 < t1

@@ -1,0 +1,48 @@
+"""End-to-end integration: shared-memory heat on the simulated machine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import pvm_heat, serial_heat, shared_heat
+from repro.runtime import Placement
+
+
+def ic(n=32, seed=31):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, n)
+
+
+@pytest.mark.parametrize("n_threads", [1, 2, 4])
+def test_shared_memory_run_matches_serial_exactly(n_threads):
+    u0 = ic()
+    expected = serial_heat(u0, 6)
+    result = shared_heat(u0, 6, n_threads)
+    assert np.array_equal(result.field, expected)
+
+
+def test_shared_memory_and_pvm_agree():
+    u0 = ic()
+    shared = shared_heat(u0, 4, 2)
+    pvm = pvm_heat(u0, 4, 2)
+    assert np.array_equal(shared.field, pvm.field)
+
+
+def test_cross_hypernode_threads_produce_remote_traffic():
+    u0 = ic()
+    local = shared_heat(u0, 3, 2, placement=Placement.HIGH_LOCALITY)
+    crossed = shared_heat(u0, 3, 2, placement=Placement.UNIFORM)
+    assert np.array_equal(local.field, crossed.field)
+    assert crossed.remote_misses > local.remote_misses
+    assert crossed.time_ns > local.time_ns
+
+
+def test_counters_show_real_memory_activity():
+    result = shared_heat(ic(), 3, 2)
+    assert result.cache_misses > 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        shared_heat(ic(30), 1, 4)   # 30 cells over 4 threads
+    with pytest.raises(ValueError):
+        shared_heat(ic(), 1, 2, alpha=0.7)

@@ -1,0 +1,91 @@
+"""Tests for the N-body performance workload (paper Fig 8 shapes)."""
+
+import pytest
+
+from repro.apps.nbody import (
+    NBodyWorkload,
+    problem_2m,
+    problem_32k,
+    problem_256k,
+)
+from repro.core import spp1000
+from repro.core.units import to_seconds
+from repro.runtime import Placement
+
+CFG = spp1000(2)
+
+
+@pytest.fixture(scope="module")
+def w32():
+    return NBodyWorkload(problem_32k(), CFG)
+
+
+def test_problem_sizes():
+    assert problem_32k().n_bodies == 32768
+    assert problem_256k().n_bodies == 262144
+    assert problem_2m().n_bodies == 2097152
+
+
+def test_interactions_grow_logarithmically():
+    assert problem_2m().interactions_per_body() > \
+        problem_32k().interactions_per_body()
+    ratio = (problem_2m().interactions_per_body()
+             / problem_32k().interactions_per_body())
+    assert ratio < 2.0  # log, not linear
+
+
+def test_single_cpu_rate_near_27_5(w32):
+    r = w32.run_shared(1)
+    assert 20.0 <= r.mflops <= 40.0
+
+
+def test_hypernode_crossing_degradation_2_to_7_percent(w32):
+    w = NBodyWorkload(problem_256k(), CFG)
+    for p in (2, 4, 8):
+        t1 = w.run_shared(p, Placement.HIGH_LOCALITY).time_ns
+        t2 = w.run_shared(p, Placement.UNIFORM).time_ns
+        degradation = (t2 - t1) / t1
+        assert 0.002 <= degradation <= 0.09, (
+            f"p={p}: degradation {degradation:.1%}")
+
+
+def test_16_processor_rate_near_384(w32):
+    r = w32.run_shared(16, Placement.UNIFORM)
+    assert 300.0 <= r.mflops <= 500.0
+
+
+def test_speedup_at_16_depends_on_problem_size():
+    speedups = {}
+    for prob in (problem_32k(), problem_2m()):
+        w = NBodyWorkload(prob, CFG)
+        base = w.run_shared(1).time_ns
+        speedups[prob.label] = base / w.run_shared(
+            16, Placement.UNIFORM).time_ns
+    assert abs(speedups["32K"] - speedups["2M"]) > 0.5
+
+
+def test_c90_tree_code_rate_near_120(w32):
+    total = w32.flops_per_step() * w32.problem.n_steps
+    rate = total / to_seconds(w32.run_c90()) / 1e6
+    assert 95.0 <= rate <= 175.0
+
+
+def test_16_processors_beat_the_c90(w32):
+    """Paper: 384 MFLOP/s at 16 compares favourably to the 120 MFLOP/s
+    vectorised C90 tree code."""
+    r16 = w32.run_shared(16, Placement.UNIFORM)
+    total = w32.flops_per_step() * w32.problem.n_steps
+    c90 = total / to_seconds(w32.run_c90()) / 1e6
+    assert r16.mflops > 2.0 * c90
+
+
+def test_pvm_single_task_at_least_as_fast_as_shared(w32):
+    """Paper §5.3.2: the PVM code's single-processor performance is
+    somewhat faster than the shared-memory version (private data)."""
+    assert w32.run_pvm(1).time_ns <= 1.02 * w32.run_shared(1).time_ns
+
+
+def test_pvm_overheads_prohibitive_at_scale(w32):
+    """Paper: packing/sending overheads degrade PVM below shared."""
+    assert w32.run_pvm(16, Placement.UNIFORM).time_ns > \
+        w32.run_shared(16, Placement.UNIFORM).time_ns

@@ -1,0 +1,114 @@
+"""Tests for the PIC performance workload (paper Fig 6 / Table 1 shapes)."""
+
+import pytest
+
+from repro.apps.pic import (
+    PICWorkload,
+    large_problem,
+    small_problem,
+)
+from repro.core import spp1000
+from repro.core.units import to_seconds
+from repro.perfmodel import TeamSpec
+from repro.runtime import Placement
+
+CFG = spp1000(2)
+
+
+@pytest.fixture(scope="module")
+def small():
+    return PICWorkload(small_problem(), CFG)
+
+
+@pytest.fixture(scope="module")
+def large():
+    return PICWorkload(large_problem(), CFG)
+
+
+def test_problem_sizes_match_table1():
+    assert small_problem().n_particles == 294912
+    assert large_problem().n_particles == 1179648
+    assert small_problem().n_steps == 500
+
+
+def test_flops_per_step_scale_with_particles(small, large):
+    ratio = large.flops_per_step() / small.flops_per_step()
+    assert 3.5 <= ratio <= 4.5  # 4x the particles dominate
+
+
+def test_shared_step_has_four_barriers(small):
+    team = TeamSpec(CFG, 4)
+    assert small.shared_step(team).barriers == 4
+
+
+def test_pvm_step_has_no_barriers_but_messages(small):
+    team = TeamSpec(CFG, 4)
+    step = small.pvm_step(team)
+    assert step.barriers == 0
+    msgs = [m for phases in step.thread_phases
+            for p in phases for m in p.messages]
+    assert msgs  # the all-reduce communicates
+
+
+def test_pvm_single_task_sends_nothing(small):
+    team = TeamSpec(CFG, 1)
+    step = small.pvm_step(team)
+    msgs = [m for phases in step.thread_phases
+            for p in phases for m in p.messages]
+    assert msgs == []
+
+
+def test_shared_speedup_monotone_to_16(small):
+    times = [small.run_shared(n).time_ns for n in (1, 2, 4, 8, 16)]
+    assert times == sorted(times, reverse=True)
+
+
+def test_shared_outperforms_pvm_at_scale(small):
+    """Paper §3.1/Fig 6: the shared-memory version consistently
+    outperforms the PVM version; PVM reaches roughly half to
+    three-quarters of shared performance."""
+    for n in (4, 8, 16):
+        t_shared = small.run_shared(n).time_ns
+        t_pvm = small.run_pvm(n).time_ns
+        assert t_pvm > t_shared, f"PVM beat shared at {n} threads"
+    ratio16 = small.run_pvm(16).time_ns / small.run_shared(16).time_ns
+    assert 1.1 <= ratio16 <= 2.6, f"pvm/shared time ratio {ratio16:.2f}"
+
+
+def test_single_cpu_rate_matches_paper_order(small):
+    """Paper-era single-CPU PIC rates on the SPP were tens of MFLOP/s."""
+    r = small.run_shared(1)
+    assert 10.0 <= r.mflops <= 45.0
+
+
+def test_c90_reference_rate_in_paper_band(small, large):
+    for w, paper_mflops in [(small, 355.0), (large, 369.0)]:
+        t_ns = w.run_c90()
+        rate = (w.flops_per_step() * w.problem.n_steps) / to_seconds(t_ns) / 1e6
+        assert 0.75 * paper_mflops <= rate <= 1.25 * paper_mflops
+
+
+def test_large_problem_runs_slower_per_particle(small, large):
+    """The large problem spills the caches harder (Fig 6's two heights)."""
+    r_small = small.run_shared(8)
+    r_large = large.run_shared(8)
+    per_part_small = r_small.time_ns / small.problem.n_particles
+    per_part_large = r_large.time_ns / large.problem.n_particles
+    assert per_part_large >= 0.95 * per_part_small
+
+
+def test_uniform_placement_slower_than_high_locality_at_8(small):
+    t_local = small.run_shared(8, Placement.HIGH_LOCALITY).time_ns
+    t_uniform = small.run_shared(8, Placement.UNIFORM).time_ns
+    assert t_uniform > t_local
+
+
+def test_pic_workload_single_hypernode_config(small):
+    """The workloads run on any machine size, including one hypernode."""
+    from repro.apps.pic import PICWorkload, small_problem
+
+    w = PICWorkload(small_problem(), spp1000(1))
+    r8 = w.run_shared(8)
+    assert r8.mflops > 0
+    with pytest.raises(ValueError):
+        w.run_shared(9)   # does not fit one hypernode

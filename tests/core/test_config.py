@@ -1,0 +1,59 @@
+"""Tests for machine configuration."""
+
+import pytest
+
+from repro.core import MachineConfig, spp1000
+
+
+def test_default_is_the_papers_two_hypernode_machine():
+    cfg = spp1000()
+    assert cfg.n_cpus == 16
+    assert cfg.cpus_per_hypernode == 8
+    assert cfg.n_fus == 8
+    assert cfg.clock_ns == 10.0
+    assert cfg.line_bytes == 32
+    assert cfg.dcache_lines == 32768
+
+
+def test_full_machine_configuration():
+    cfg = spp1000(n_hypernodes=16)
+    assert cfg.n_cpus == 128
+
+
+def test_local_miss_in_papers_band():
+    cfg = spp1000()
+    assert 50 <= cfg.miss_local_cycles <= 60
+
+
+def test_cycles_converts_to_ns():
+    cfg = spp1000()
+    assert cfg.cycles(55) == 550.0
+
+
+def test_validation_rejects_bad_structures():
+    with pytest.raises(ValueError):
+        spp1000(n_hypernodes=17)
+    with pytest.raises(ValueError):
+        spp1000(n_hypernodes=0)
+    with pytest.raises(ValueError):
+        MachineConfig(fus_per_hypernode=3).validate()
+    with pytest.raises(ValueError):
+        MachineConfig(page_bytes=100).validate()
+    with pytest.raises(ValueError):
+        MachineConfig(dcache_bytes=1000).validate()
+
+
+def test_with_returns_validated_copy():
+    cfg = spp1000()
+    cfg2 = cfg.with_(n_hypernodes=4)
+    assert cfg2.n_hypernodes == 4
+    assert cfg.n_hypernodes == 2  # original untouched
+    with pytest.raises(ValueError):
+        cfg.with_(n_hypernodes=99)
+
+
+def test_config_is_hashable_and_frozen():
+    cfg = spp1000()
+    with pytest.raises(Exception):
+        cfg.n_hypernodes = 3
+    assert hash(cfg) == hash(spp1000())

@@ -1,0 +1,48 @@
+"""Tests for the measurement methodology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import corrected, summarize
+
+
+def test_corrected_subtracts_timer_cost():
+    assert corrected(1000.0, 2, 100.0) == 800.0
+
+
+def test_corrected_clamps_at_zero():
+    assert corrected(100.0, 5, 100.0) == 0.0
+
+
+def test_corrected_rejects_negative_count():
+    with pytest.raises(ValueError):
+        corrected(100.0, -1, 10.0)
+
+
+def test_summarize_basic():
+    m = summarize([3.0, 1.0, 2.0])
+    assert m.minimum == 1.0
+    assert m.maximum == 3.0
+    assert m.mean == 2.0
+    assert m.n == 3
+
+
+def test_summarize_single_sample_has_zero_stdev():
+    m = summarize([5.0])
+    assert m.stdev == 0.0
+    assert m.minimum == m.mean == m.maximum == 5.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+@given(st.lists(st.floats(0, 1e9), min_size=1, max_size=50))
+def test_summary_invariants(xs):
+    m = summarize(xs)
+    tol = 1e-9 * max(1.0, m.maximum)  # float summation rounding
+    assert m.minimum <= m.mean + tol
+    assert m.mean <= m.maximum + tol
+    assert m.stdev >= 0.0
+    assert m.n == len(xs)

@@ -1,0 +1,37 @@
+"""Tests for table/series rendering."""
+
+import pytest
+
+from repro.core import Series, Table, render_series
+
+
+def test_table_renders_title_headers_rows():
+    t = Table("Demo", ["p", "time"])
+    t.add_row(1, 10.0)
+    t.add_row(16, 2.5)
+    out = t.render()
+    assert "Demo" in out
+    assert "p" in out and "time" in out
+    assert "10.00" in out and "2.50" in out
+
+
+def test_table_rejects_wrong_arity():
+    t = Table("x", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_series_requires_matching_lengths():
+    with pytest.raises(ValueError):
+        Series("s", [1, 2], [1.0])
+
+
+def test_render_series_merges_on_x():
+    s1 = Series("local", [1, 2, 4], [30.0, 30.0, 31.0])
+    s2 = Series("global", [2, 4], [70.0, 71.0])
+    out = render_series("Fig", [s1, s2], x_name="threads")
+    assert "local" in out and "global" in out
+    lines = out.splitlines()
+    # x=1 row exists with '-' for the missing global value
+    row1 = next(l for l in lines if l.strip().startswith("1 "))
+    assert "-" in row1

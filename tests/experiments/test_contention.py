@@ -1,0 +1,41 @@
+"""Tests for the message-contention experiment."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.contention import contended_round_trip_us
+
+
+@pytest.fixture(scope="module")
+def contention():
+    return run_experiment("contention")
+
+
+def test_two_series_over_pair_counts(contention):
+    assert contention.data["pairs"] == [1, 2, 3, 4]
+    assert len(contention.series) == 2
+
+
+def test_single_pair_matches_fig4_regime(contention):
+    assert 10.0 <= contention.data["local_us"][0] <= 60.0
+    ratio = contention.data["cross_us"][0] / contention.data["local_us"][0]
+    assert 1.7 <= ratio <= 3.2
+
+
+def test_little_degradation_with_traffic(contention):
+    """The paper's [24] claim: appreciable traffic, little degradation."""
+    assert 0.0 <= contention.data["local_degradation"] <= 0.40
+    assert 0.0 <= contention.data["cross_degradation"] <= 0.40
+
+
+def test_round_trips_never_speed_up_under_load(contention):
+    for key in ("local_us", "cross_us"):
+        series = contention.data[key]
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+
+def test_pair_count_validation():
+    with pytest.raises(ValueError):
+        contended_round_trip_us(0, False)
+    with pytest.raises(ValueError):
+        contended_round_trip_us(9, False)   # 18 tasks on 16 CPUs

@@ -1,0 +1,61 @@
+"""Fig 6 and Table 1 reproduction shape checks."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_experiment("fig6")
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_experiment("table1")
+
+
+def test_fig6_has_six_series(fig6):
+    assert len(fig6.series) == 6
+
+
+def test_fig6_shared_beats_pvm_everywhere_above_1(fig6):
+    for label in ("32x32x32", "64x64x32"):
+        d = fig6.data[label]
+        for i, p in enumerate(fig6.data["processors"]):
+            if p >= 2:
+                assert d["pvm_seconds"][i] > d["shared_seconds"][i]
+
+
+def test_fig6_both_styles_scale_to_16(fig6):
+    for label in ("32x32x32", "64x64x32"):
+        d = fig6.data[label]
+        assert d["shared_speedup"][-1] > 6.0
+        assert d["pvm_speedup"][-1] > 4.0
+
+
+def test_fig6_pvm_about_half_to_threequarters_of_shared_at_16(fig6):
+    d = fig6.data["32x32x32"]
+    ratio = d["pvm_seconds"][-1] / d["shared_seconds"][-1]
+    assert 1.1 <= ratio <= 2.6
+
+
+def test_fig6_c90_line_between_serial_and_parallel(fig6):
+    for label in ("32x32x32", "64x64x32"):
+        d = fig6.data[label]
+        assert d["shared_seconds"][0] > d["c90_seconds"]
+        # full machine comes within a small factor of the C90 head
+        assert d["shared_seconds"][-1] < 4.0 * d["c90_seconds"]
+
+
+def test_table1_rates_close_to_paper(table1):
+    for label in ("32x32x32", "64x64x32"):
+        row = table1.data[label]
+        paper = row["paper"]
+        assert row["particles"] == paper["particles"]
+        assert abs(row["mflops"] - paper["mflops"]) / paper["mflops"] < 0.25
+
+
+def test_table1_larger_problem_takes_longer(table1):
+    assert table1.data["64x64x32"]["seconds"] > \
+        table1.data["32x32x32"]["seconds"]

@@ -1,0 +1,61 @@
+"""Fig 7 reproduction shape checks."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_experiment("fig7")
+
+
+def idx(fig7, p):
+    return fig7.data["processors"].index(p)
+
+
+def test_has_four_series(fig7):
+    labels = {s.label for s in fig7.series}
+    assert labels == {"small1", "small2", "large", "C90 (1 head)"}
+
+
+def test_serial_rates_in_paper_band(fig7):
+    """Paper: vector coding 31 MFLOP/s serial, -O3 recompile 18."""
+    assert 12.0 <= fig7.data["small1"]["mflops"][0] <= 40.0
+    assert fig7.data["small2"]["mflops"][0] < fig7.data["small1"]["mflops"][0]
+
+
+def test_c90_reference_close_to_250(fig7):
+    assert 200.0 <= fig7.data["c90_mflops"] <= 310.0
+
+
+def test_nonmonotonic_dip_between_8_and_9(fig7):
+    """The paper's reported anomaly."""
+    for label in ("small1", "small2", "large"):
+        rates = fig7.data[label]["mflops"]
+        r8 = rates[idx(fig7, 8)]
+        r9 = rates[idx(fig7, 9)]
+        assert r9 < r8, f"{label}: no dip at 9 ({r8:.0f} -> {r9:.0f})"
+
+
+def test_recovery_after_the_dip(fig7):
+    for label in ("small1", "large"):
+        rates = fig7.data[label]["mflops"]
+        assert rates[idx(fig7, 16)] > rates[idx(fig7, 9)]
+
+
+def test_single_hypernode_scaling_excellent(fig7):
+    """Paper §6: programming a single hypernode returned excellent
+    scaling across eight processors in all cases."""
+    for label in ("small1", "small2", "large"):
+        rates = fig7.data[label]["mflops"]
+        eff = rates[idx(fig7, 8)] / (8 * rates[idx(fig7, 1)])
+        assert eff > 0.8, f"{label}: 8-cpu efficiency {eff:.2f}"
+
+
+def test_small_benefits_from_aggregate_cache_at_16(fig7):
+    """The small set was sized to fit the 16-CPU aggregate cache; the
+    large set cannot, so small out-scales large beyond one hypernode."""
+    s = fig7.data["small1"]["mflops"]
+    l = fig7.data["large"]["mflops"]
+    assert s[idx(fig7, 16)] / s[0] > l[idx(fig7, 16)] / l[0]

@@ -1,0 +1,47 @@
+"""Fig 8 reproduction shape checks."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_experiment("fig8")
+
+
+def test_all_sizes_and_configs_present(fig8):
+    assert set(fig8.data) == {"32K", "256K", "2M"}
+    labels = {s.label for s in fig8.series}
+    assert "32K 1-hypernode" in labels
+    assert "2M 2-hypernodes" in labels
+
+
+def test_speedups_monotone(fig8):
+    for d in fig8.data.values():
+        assert d["one_node_speedup"] == sorted(d["one_node_speedup"])
+        assert d["two_node_speedup"] == sorted(d["two_node_speedup"])
+
+
+def test_degradation_small_across_hypernodes(fig8):
+    """Paper: between 2 and 7 percent."""
+    for label, d in fig8.data.items():
+        for p, deg in d["degradation"].items():
+            assert 0.0 <= deg <= 0.09, f"{label} p={p}: {deg:.1%}"
+
+
+def test_single_cpu_and_16_cpu_rates(fig8):
+    d = fig8.data["32K"]
+    assert 20.0 <= d["single_cpu_mflops"] <= 40.0      # paper: 27.5
+    assert 300.0 <= d["mflops_16"] <= 500.0            # paper: 384
+
+
+def test_c90_reference_and_favourable_comparison(fig8):
+    for d in fig8.data.values():
+        assert 95.0 <= d["c90_mflops"] <= 175.0        # paper: 120
+        assert d["mflops_16"] > d["c90_mflops"]
+
+
+def test_problem_size_affects_16_processor_speedup(fig8):
+    s = {label: d["two_node_speedup"][-1] for label, d in fig8.data.items()}
+    assert max(s.values()) - min(s.values()) > 0.5

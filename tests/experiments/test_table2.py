@@ -1,0 +1,54 @@
+"""Table 2 reproduction shape checks."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_experiment("table2")
+
+
+def rows(table2, tiles=None, grid=None):
+    out = table2.data["rows"]
+    if tiles:
+        out = [r for r in out if r["tiles"] == tiles]
+    if grid:
+        out = [r for r in out if r["grid"] == grid]
+    return out
+
+
+def test_all_nine_rows_present(table2):
+    assert len(table2.data["rows"]) == 9
+
+
+def test_every_row_within_25_percent_of_paper(table2):
+    for row in table2.data["rows"]:
+        rel = abs(row["mflops"] - row["paper_mflops"]) / row["paper_mflops"]
+        assert rel < 0.25, f"{row}: off by {rel:.0%}"
+
+
+def test_coarse_tiles_scale_nearly_linearly(table2):
+    r = {row["procs"]: row["mflops"]
+         for row in rows(table2, tiles=(4, 16), grid=(120, 480))}
+    assert r[8] / r[1] > 7.0   # paper: 228.5/29.9 = 7.6
+
+
+def test_fine_decomposition_uniformly_slower(table2):
+    coarse = {row["procs"]: row["mflops"]
+              for row in rows(table2, tiles=(4, 16), grid=(120, 480))}
+    fine = {row["procs"]: row["mflops"]
+            for row in rows(table2, tiles=(12, 48))}
+    for p in (1, 2, 4, 8):
+        assert fine[p] < coarse[p]
+        ratio = coarse[p] / fine[p]
+        assert 1.05 <= ratio <= 1.6   # paper: ~1.23-1.26
+
+
+def test_rate_insensitive_to_grid_size(table2):
+    small = rows(table2, tiles=(4, 16), grid=(120, 480))
+    big = rows(table2, tiles=(4, 16), grid=(240, 960))
+    small4 = next(r["mflops"] for r in small if r["procs"] == 4)
+    big4 = next(r["mflops"] for r in big if r["procs"] == 4)
+    assert abs(big4 - small4) / small4 < 0.15

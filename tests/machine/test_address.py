@@ -1,0 +1,153 @@
+"""Tests for the address space and the five memory classes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import spp1000
+from repro.machine import AddressSpace, MemClass
+
+CFG = spp1000(n_hypernodes=2)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(CFG)
+
+
+def test_regions_are_page_aligned_and_disjoint(space):
+    r1 = space.alloc(100, MemClass.NEAR_SHARED, home_hypernode=0)
+    r2 = space.alloc(5000, MemClass.FAR_SHARED)
+    assert r1.base % CFG.page_bytes == 0
+    assert r2.base % CFG.page_bytes == 0
+    assert r1.end <= r2.base
+    assert r1.size == CFG.page_bytes         # rounded up to one page
+    assert r2.size == 2 * CFG.page_bytes     # rounded up to two pages
+
+
+def test_address_zero_is_unmapped(space):
+    with pytest.raises(KeyError):
+        space.region_of(0)
+
+
+def test_region_of_finds_owner(space):
+    regions = [space.alloc(CFG.page_bytes, MemClass.FAR_SHARED)
+               for _ in range(10)]
+    for r in regions:
+        assert space.region_of(r.base) is r
+        assert space.region_of(r.end - 1) is r
+
+
+def test_region_addr_bounds_checked(space):
+    r = space.alloc(64, MemClass.NEAR_SHARED, home_hypernode=0)
+    with pytest.raises(IndexError):
+        r.addr(r.size)
+    with pytest.raises(IndexError):
+        r.addr(-1)
+
+
+def test_alloc_rejects_bad_arguments(space):
+    with pytest.raises(ValueError):
+        space.alloc(0, MemClass.FAR_SHARED)
+    with pytest.raises(ValueError):
+        space.alloc(64, MemClass.THREAD_PRIVATE)  # needs placement
+    with pytest.raises(ValueError):
+        space.alloc(64, MemClass.NEAR_SHARED)  # needs home hypernode
+    with pytest.raises(ValueError):
+        space.alloc(64, MemClass.BLOCK_SHARED)  # needs block size
+    with pytest.raises(ValueError):
+        space.alloc(64, MemClass.BLOCK_SHARED, block_bytes=48)  # not multiple
+    with pytest.raises(ValueError):
+        space.alloc(64, MemClass.NEAR_SHARED, home_hypernode=5)  # no such HN
+
+
+def test_thread_private_homes_on_owning_fu(space):
+    r = space.alloc(4 * CFG.page_bytes, MemClass.THREAD_PRIVATE,
+                    home_hypernode=1, home_fu=2)
+    for page in range(4):
+        home = r.home_of(r.addr(page * CFG.page_bytes))
+        assert home.hypernode == 1
+        assert home.fu == 2
+    # pages alternate between the FU's two banks
+    banks = [r.home_of(r.addr(p * CFG.page_bytes)).bank for p in range(4)]
+    assert banks == [0, 1, 0, 1]
+
+
+def test_near_shared_interleaves_pages_across_home_fus(space):
+    r = space.alloc(8 * CFG.page_bytes, MemClass.NEAR_SHARED,
+                    home_hypernode=1)
+    homes = [r.home_of(r.addr(p * CFG.page_bytes)) for p in range(8)]
+    assert all(h.hypernode == 1 for h in homes)
+    assert [h.fu for h in homes] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert [h.bank for h in homes[:4]] == [0, 0, 0, 0]
+    assert [h.bank for h in homes[4:]] == [1, 1, 1, 1]
+
+
+def test_far_shared_interleaves_pages_across_hypernodes(space):
+    r = space.alloc(8 * CFG.page_bytes, MemClass.FAR_SHARED)
+    homes = [r.home_of(r.addr(p * CFG.page_bytes)) for p in range(8)]
+    assert [h.hypernode for h in homes] == [0, 1, 0, 1, 0, 1, 0, 1]
+    # and across FUs once hypernodes wrap
+    assert [h.fu for h in homes] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_block_shared_uses_block_granularity(space):
+    block = 4 * CFG.line_bytes  # 128 B blocks
+    r = space.alloc(CFG.page_bytes, MemClass.BLOCK_SHARED, block_bytes=block)
+    h0 = r.home_of(r.addr(0))
+    h1 = r.home_of(r.addr(block))
+    h2 = r.home_of(r.addr(2 * block))
+    assert h0.hypernode == 0 and h1.hypernode == 1 and h2.hypernode == 0
+    # within one block, all lines share a home
+    assert r.home_of(r.addr(block - 1)) == h0
+
+
+def test_node_private_homes_on_accessor(space):
+    r = space.alloc(CFG.page_bytes, MemClass.NODE_PRIVATE)
+    assert r.home_of(r.addr(0), accessor_hn=0).hypernode == 0
+    assert r.home_of(r.addr(0), accessor_hn=1).hypernode == 1
+    with pytest.raises(ValueError):
+        r.home_of(r.addr(0))  # accessor required
+
+
+def test_home_of_rejects_foreign_address(space):
+    r1 = space.alloc(64, MemClass.NEAR_SHARED, home_hypernode=0)
+    r2 = space.alloc(64, MemClass.NEAR_SHARED, home_hypernode=0)
+    with pytest.raises(ValueError):
+        r1.home_of(r2.addr(0))
+
+
+@given(
+    n_hn=st.sampled_from([1, 2, 4, 8, 16]),
+    offset=st.integers(0, 64 * 4096 - 1),
+    mclass=st.sampled_from([MemClass.FAR_SHARED, MemClass.NEAR_SHARED]),
+)
+def test_homes_always_structurally_valid(n_hn, offset, mclass):
+    cfg = spp1000(n_hypernodes=n_hn)
+    space = AddressSpace(cfg)
+    r = space.alloc(64 * cfg.page_bytes, mclass,
+                    home_hypernode=0 if mclass is MemClass.NEAR_SHARED else None)
+    home = r.home_of(r.addr(offset))
+    assert 0 <= home.hypernode < cfg.n_hypernodes
+    assert 0 <= home.fu < cfg.fus_per_hypernode
+    assert 0 <= home.bank < cfg.banks_per_fu
+
+
+@given(offset=st.integers(0, 16 * 4096 - 1))
+def test_all_bytes_of_a_line_share_a_home(offset):
+    cfg = spp1000(n_hypernodes=4)
+    space = AddressSpace(cfg)
+    r = space.alloc(16 * cfg.page_bytes, MemClass.FAR_SHARED)
+    addr = r.addr(offset)
+    line_start = addr - addr % cfg.line_bytes
+    homes = {r.home_of(a) for a in range(line_start, line_start + cfg.line_bytes, 8)}
+    assert len(homes) == 1
+
+
+def test_allocation_accounting(space):
+    assert space.allocated_bytes == 0
+    space.alloc(CFG.page_bytes, MemClass.FAR_SHARED)
+    space.alloc(100, MemClass.FAR_SHARED)  # rounds to one page
+    assert space.allocated_bytes == 2 * CFG.page_bytes
+    # 2 hypernodes x 4 FUs x 2 banks x 16 MB
+    assert space.physical_bytes == 2 * 4 * 2 * 16 * 1024 * 1024
+    assert 0.0 < space.utilization < 1.0

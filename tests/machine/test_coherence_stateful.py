@@ -1,0 +1,96 @@
+"""Stateful property test: the coherent memory system vs a flat model.
+
+Hypothesis drives random sequences of loads, stores, atomics, and block
+transfers from random CPUs against one far-shared region.  After every
+operation the machine must (a) return the value a flat dictionary model
+returns, and (b) satisfy every cross-structure coherence invariant
+(directory <-> cache agreement, well-formed SCI lists, SCI <-> GCB
+agreement).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import spp1000
+from repro.machine import Machine, MemClass
+
+CFG = spp1000(n_hypernodes=2)
+N_WORDS = 64   # words under test, spread over several lines and pages
+
+
+class CoherentMemoryMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.machine = Machine(CFG)
+        region = self.machine.alloc(
+            N_WORDS * 256, MemClass.FAR_SHARED, label="fuzz")
+        # spread words across lines (stride 8 words = 2 lines)
+        self.addrs = [region.addr(i * 256) for i in range(N_WORDS)]
+        self.model = {}
+        for addr in self.addrs:
+            self.machine.poke(addr, 0)
+            self.model[addr] = 0
+
+    def _run(self, gen):
+        proc = self.machine.sim.process(gen)
+        return self.machine.sim.run(until=proc)
+
+    @rule(cpu=st.integers(0, 15), word=st.integers(0, N_WORDS - 1))
+    def load(self, cpu, word):
+        addr = self.addrs[word]
+
+        def go():
+            value = yield self.machine.load(cpu, addr)
+            return value
+
+        assert self._run(go()) == self.model[addr]
+
+    @rule(cpu=st.integers(0, 15), word=st.integers(0, N_WORDS - 1),
+          value=st.integers(-1000, 1000))
+    def store(self, cpu, word, value):
+        addr = self.addrs[word]
+
+        def go():
+            yield self.machine.store(cpu, addr, value)
+
+        self._run(go())
+        self.model[addr] = value
+
+    @rule(cpu=st.integers(0, 15), word=st.integers(0, N_WORDS - 1),
+          delta=st.integers(-5, 5))
+    def fetch_add(self, cpu, word, delta):
+        addr = self.addrs[word]
+
+        def go():
+            old = yield self.machine.fetch_add(cpu, addr, delta)
+            return old
+
+        assert self._run(go()) == self.model[addr]
+        self.model[addr] += delta
+
+    @rule(cpu=st.integers(0, 15), word=st.integers(0, N_WORDS - 8))
+    def block_read(self, cpu, word):
+        def go():
+            yield self.machine.read_block(cpu, self.addrs[word], 256)
+
+        self._run(go())
+
+    @invariant()
+    def coherence_invariants_hold(self):
+        self.machine.check_coherence_invariants()
+
+    @invariant()
+    def all_values_still_peekable(self):
+        for addr, expected in self.model.items():
+            assert self.machine.peek(addr) == expected
+
+
+CoherentMemoryMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestCoherentMemory = CoherentMemoryMachine.TestCase

@@ -1,0 +1,45 @@
+"""Tests for the measured latency table."""
+
+import pytest
+
+from repro.core import spp1000
+from repro.machine import latency_table, measure_latencies
+
+
+@pytest.fixture(scope="module")
+def latencies():
+    return measure_latencies(spp1000(2))
+
+
+def test_papers_prose_numbers(latencies):
+    """§2.6: one access per cycle; miss 50-60 cycles; remote ~8x."""
+    assert latencies["cache_hit"] == pytest.approx(1.0)
+    assert 50 <= latencies["local_miss"] <= 65
+    ratio = latencies["remote_miss"] / latencies["local_miss"]
+    assert 5.0 <= ratio <= 12.0
+
+
+def test_gcb_between_local_and_remote(latencies):
+    assert latencies["local_miss"] <= latencies["gcb_hit"] \
+        < latencies["remote_miss"]
+
+
+def test_atomics_cost_a_memory_round_trip(latencies):
+    assert latencies["local_atomic"] >= 40
+    assert latencies["remote_atomic"] > 4 * latencies["local_atomic"]
+
+
+def test_tlb_miss_matches_config(latencies):
+    assert latencies["tlb_miss"] == pytest.approx(
+        spp1000().tlb_miss_cycles, abs=1)
+
+
+def test_table_renders():
+    text = latency_table(spp1000(2)).render()
+    assert "remote_miss" in text
+    assert "microseconds" in text
+
+
+def test_single_hypernode_rejected():
+    with pytest.raises(ValueError):
+        measure_latencies(spp1000(1))

@@ -1,0 +1,59 @@
+"""Tests for intra-hypernode directory state."""
+
+from repro.machine import HypernodeDirectory
+
+
+def test_entry_created_on_demand():
+    d = HypernodeDirectory(0)
+    assert d.tracked_lines == 0
+    ent = d.entry(0x100)
+    assert ent.sharers == set() and not ent.dirty
+    assert d.tracked_lines == 1
+
+
+def test_peek_does_not_create():
+    d = HypernodeDirectory(0)
+    assert d.peek(0x100).sharers == set()
+    assert d.tracked_lines == 0
+
+
+def test_add_remove_sharers():
+    d = HypernodeDirectory(0)
+    d.add_sharer(0x100, 3)
+    d.add_sharer(0x100, 5)
+    assert d.local_sharers(0x100) == [3, 5]
+    assert d.local_sharers(0x100, excluding=3) == [5]
+    d.remove_sharer(0x100, 3)
+    assert d.local_sharers(0x100) == [5]
+
+
+def test_last_sharer_removal_drops_entry_and_dirty_bit():
+    d = HypernodeDirectory(0)
+    d.add_sharer(0x100, 1)
+    d.entry(0x100).dirty = True
+    d.remove_sharer(0x100, 1)
+    assert d.tracked_lines == 0
+    assert not d.peek(0x100).dirty
+
+
+def test_remove_sharer_of_untracked_line_is_noop():
+    d = HypernodeDirectory(0)
+    d.remove_sharer(0x500, 2)  # must not raise
+
+
+def test_clear_line_returns_sharers_sorted():
+    d = HypernodeDirectory(0)
+    for cpu in [4, 1, 6]:
+        d.add_sharer(0x100, cpu)
+    assert d.clear_line(0x100) == [1, 4, 6]
+    assert d.tracked_lines == 0
+    assert d.clear_line(0x100) == []
+
+
+def test_global_cache_buffer_membership():
+    d = HypernodeDirectory(1)
+    assert not d.gcb_holds(0x200)
+    d.gcb_insert(0x200)
+    assert d.gcb_holds(0x200)
+    assert d.gcb_drop(0x200)
+    assert not d.gcb_drop(0x200)

@@ -1,0 +1,104 @@
+"""Tests on the maximum configuration: 16 hypernodes, 128 CPUs."""
+
+import pytest
+
+from repro.core import spp1000
+from repro.core.units import to_us
+from repro.machine import Machine, MemClass
+from repro.runtime import Barrier, Placement, Runtime, assign
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine(spp1000(n_hypernodes=16))
+
+
+def test_configuration(machine):
+    assert machine.config.n_cpus == 128
+    assert len(machine.caches) == 128
+    assert len(machine.directories) == 16
+    assert len(machine.net.rings) == 4
+
+
+def test_far_shared_spreads_over_all_hypernodes(machine):
+    region = machine.alloc(64 * machine.config.page_bytes,
+                           MemClass.FAR_SHARED)
+    homes = {machine.space.home_of(
+        region.addr(p * machine.config.page_bytes)).hypernode
+        for p in range(64)}
+    assert homes == set(range(16))
+
+
+def test_remote_latency_grows_with_ring_distance(machine):
+    """On a 16-node unidirectional ring, a fetch from the next node is
+    cheaper than one that travels most of the way round."""
+    cfg = machine.config
+    region = machine.alloc(2 * cfg.page_bytes, MemClass.NEAR_SHARED,
+                           home_hypernode=0)
+    near_addr = region.addr(0)
+    far_addr = region.addr(cfg.line_bytes)
+
+    def timed(cpu, addr):
+        def go():
+            yield machine.load(cpu, addr + 8 * cfg.line_bytes)  # warm TLB
+            t0 = machine.sim.now
+            yield machine.load(cpu, addr)
+            return machine.sim.now - t0
+        proc = machine.sim.process(go())
+        return machine.sim.run(until=proc)
+
+    cpu_hn15 = 15 * 8       # hypernode 15: 1 hop to reach 0, 15 back? no:
+    cpu_hn1 = 1 * 8         # hypernode 1 -> 0 is 15 hops out, 1 hop back
+    t_from_hn15 = timed(cpu_hn15, near_addr)   # 15->0: 1 hop, 0->15: 15
+    t_from_hn1 = timed(cpu_hn1, far_addr)      # 1->0: 15 hops, 0->1: 1
+    # both directions total 16 hops on the ring: equal round trips
+    assert t_from_hn15 == pytest.approx(t_from_hn1)
+
+
+def test_writes_invalidate_across_many_hypernodes(machine):
+    region = machine.alloc(machine.config.page_bytes,
+                           MemClass.NEAR_SHARED, home_hypernode=0)
+    addr = region.addr(0)
+    readers = [hn * 8 for hn in range(16)]
+
+    def go():
+        for cpu in readers:
+            yield machine.load(cpu, addr)
+        t0 = machine.sim.now
+        yield machine.store(0, addr, 1)
+        return machine.sim.now - t0
+
+    elapsed = machine.sim.run(until=machine.sim.process(go()))
+    line = machine.line_of(addr)
+    for cpu in readers[1:]:
+        assert not machine.caches[cpu].contains(line)
+    assert machine.sci.sharers(line) == []
+    machine.check_coherence_invariants()
+    # walking 15 sharing hypernodes takes tens of microseconds
+    assert to_us(elapsed) > 10.0
+
+
+def test_128_thread_fork_join_and_barrier():
+    machine = Machine(spp1000(16))
+    runtime = Runtime(machine)
+    barrier = Barrier(runtime, 128)
+    arrived = []
+
+    def body(env, tid):
+        yield env.compute(17 * (tid % 5))
+        yield from barrier.wait(env)
+        arrived.append(tid)
+
+    def main(env):
+        yield from env.fork_join(128, body, Placement.UNIFORM)
+
+    runtime.run(main)
+    assert sorted(arrived) == list(range(128))
+
+
+def test_uniform_assignment_on_16_hypernodes():
+    cfg = spp1000(16)
+    cpus = assign(cfg, 128, Placement.UNIFORM)
+    assert sorted(cpus) == list(range(128))
+    per_hn = [sum(1 for c in cpus if c // 8 == hn) for hn in range(16)]
+    assert per_hn == [8] * 16

@@ -1,0 +1,67 @@
+"""Integration tests: memory classes drive access costs on the machine."""
+
+import pytest
+
+from repro import Machine, spp1000
+from repro.machine import MemClass
+from repro.runtime import Runtime
+
+CFG = spp1000(2)
+
+
+def timed_load(machine, cpu, addr):
+    def go():
+        yield machine.load(cpu, addr + 64)   # warm TLB, different line
+        t0 = machine.sim.now
+        yield machine.load(cpu, addr)
+        return machine.sim.now - t0
+    return machine.sim.run(until=machine.sim.process(go()))
+
+
+def test_block_shared_blocks_keep_lines_together():
+    machine = Machine(CFG)
+    block = 8 * CFG.line_bytes
+    region = machine.alloc(4 * CFG.page_bytes, MemClass.BLOCK_SHARED,
+                           block_bytes=block)
+    # consecutive blocks alternate hypernodes: latency from CPU 0
+    # alternates local/remote
+    t_block0 = timed_load(machine, 0, region.addr(0))
+    machine2 = Machine(CFG)
+    region2 = machine2.alloc(4 * CFG.page_bytes, MemClass.BLOCK_SHARED,
+                             block_bytes=block)
+    t_block1 = timed_load(machine2, 0, region2.addr(block))
+    assert t_block1 > 3 * t_block0    # block 1 is homed on hypernode 1
+
+
+def test_thread_private_allocation_via_env():
+    machine = Machine(CFG)
+    rt = Runtime(machine)
+
+    def body(env, tid):
+        region = env.alloc_private(4096, label=f"priv-{tid}")
+        home = machine.space.home_of(region.addr(0))
+        t0 = env.now
+        yield env.load(region.addr(64))
+        yield env.load(region.addr(0))
+        return home.hypernode, env.now - t0
+
+    def main(env):
+        from repro.runtime import Placement
+        return (yield from env.fork_join(4, body, Placement.UNIFORM))
+
+    results = rt.run(main)
+    # each thread's private memory is homed on its own hypernode
+    assert [hn for hn, _t in results] == [0, 1, 0, 1]
+    # and access is local-speed everywhere
+    for _hn, elapsed in results:
+        assert elapsed / CFG.clock_ns < 250
+
+
+def test_near_shared_remote_for_other_hypernode():
+    machine = Machine(CFG)
+    region = machine.alloc(4096, MemClass.NEAR_SHARED, home_hypernode=1)
+    t_home = timed_load(machine, 8, region.addr(0))      # on hn1: local
+    machine2 = Machine(CFG)
+    region2 = machine2.alloc(4096, MemClass.NEAR_SHARED, home_hypernode=1)
+    t_away = timed_load(machine2, 0, region2.addr(0))    # on hn0: remote
+    assert t_away > 3 * t_home

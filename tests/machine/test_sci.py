@@ -1,0 +1,109 @@
+"""Tests for the SCI distributed sharing lists."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import SCIDirectory, SCIList
+
+
+def test_new_list_is_empty():
+    lst = SCIList(home_hypernode=0)
+    assert len(lst) == 0
+    assert lst.walk() == []
+
+
+def test_attach_prepends_at_head():
+    lst = SCIList(0)
+    lst.attach(1)
+    lst.attach(2)
+    lst.attach(3)
+    assert lst.walk() == [3, 2, 1]
+    lst.check_invariants()
+
+
+def test_home_never_joins_its_own_list():
+    lst = SCIList(0)
+    with pytest.raises(ValueError):
+        lst.attach(0)
+
+
+def test_double_attach_rejected():
+    lst = SCIList(0)
+    lst.attach(1)
+    with pytest.raises(ValueError):
+        lst.attach(1)
+
+
+def test_detach_head_middle_tail():
+    lst = SCIList(0)
+    for hn in [1, 2, 3, 4]:
+        lst.attach(hn)
+    # list is now 4,3,2,1
+    lst.detach(4)           # head
+    assert lst.walk() == [3, 2, 1]
+    lst.detach(2)           # middle
+    assert lst.walk() == [3, 1]
+    lst.detach(1)           # tail
+    assert lst.walk() == [3]
+    lst.check_invariants()
+
+
+def test_detach_unknown_raises():
+    lst = SCIList(0)
+    with pytest.raises(KeyError):
+        lst.detach(5)
+
+
+def test_purge_returns_visit_order_and_empties():
+    lst = SCIList(0)
+    for hn in [1, 2, 3]:
+        lst.attach(hn)
+    assert lst.purge() == [3, 2, 1]
+    assert len(lst) == 0
+    assert lst.head is None
+
+
+def test_directory_creates_lists_on_demand():
+    d = SCIDirectory()
+    lst = d.list_for(0x100, home_hypernode=2)
+    assert lst.home == 2
+    assert d.list_for(0x100, 2) is lst
+    assert d.sharers(0x100) == []
+    assert d.sharers(0x999) == []
+
+
+def test_directory_rejects_conflicting_home():
+    d = SCIDirectory()
+    d.list_for(0x100, 1)
+    with pytest.raises(ValueError):
+        d.list_for(0x100, 2)
+
+
+def test_active_lines_counts_only_nonempty():
+    d = SCIDirectory()
+    d.list_for(0x100, 0)
+    d.list_for(0x200, 0).attach(1)
+    assert d.active_lines == 1
+    d.drop(0x200)
+    assert d.active_lines == 0
+
+
+@given(st.lists(
+    st.tuples(st.booleans(), st.integers(1, 15)), min_size=1, max_size=120))
+def test_invariants_hold_under_random_attach_detach(ops):
+    """Property: the doubly-linked list stays consistent and matches a
+    model set under arbitrary attach/detach sequences."""
+    lst = SCIList(0)
+    model = set()
+    for is_attach, hn in ops:
+        if is_attach:
+            if hn not in model:
+                lst.attach(hn)
+                model.add(hn)
+        else:
+            if hn in model:
+                lst.detach(hn)
+                model.remove(hn)
+        lst.check_invariants()
+        assert set(lst.walk()) == model
+        assert len(lst) == len(model)

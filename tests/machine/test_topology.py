@@ -1,0 +1,79 @@
+"""Tests for CPU/FU/hypernode/ring naming."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import spp1000
+from repro.machine import Topology
+
+
+@pytest.fixture
+def topo():
+    return Topology(spp1000(n_hypernodes=2))
+
+
+def test_cpu_zero_is_first_everything(topo):
+    loc = topo.locate(0)
+    assert (loc.hypernode, loc.fu, loc.slot) == (0, 0, 0)
+
+
+def test_cpus_pair_up_in_functional_units(topo):
+    assert topo.locate(0).fu == topo.locate(1).fu == 0
+    assert topo.locate(2).fu == topo.locate(3).fu == 1
+    assert topo.locate(6).fu == topo.locate(7).fu == 3
+
+
+def test_hypernode_boundary_at_eight_cpus(topo):
+    assert topo.locate(7).hypernode == 0
+    assert topo.locate(8).hypernode == 1
+    assert topo.locate(8).fu == 0
+
+
+def test_out_of_range_cpu_rejected(topo):
+    with pytest.raises(ValueError):
+        topo.locate(16)
+    with pytest.raises(ValueError):
+        topo.locate(-1)
+
+
+def test_cpu_id_inverse_arguments_checked(topo):
+    with pytest.raises(ValueError):
+        topo.cpu_id(2, 0, 0)   # only 2 hypernodes
+    with pytest.raises(ValueError):
+        topo.cpu_id(0, 4, 0)   # only 4 FUs
+    with pytest.raises(ValueError):
+        topo.cpu_id(0, 0, 2)   # only 2 slots
+
+
+def test_cpus_of_hypernode(topo):
+    assert list(topo.cpus_of_hypernode(0)) == list(range(8))
+    assert list(topo.cpus_of_hypernode(1)) == list(range(8, 16))
+
+
+def test_ring_of_fu_is_identity(topo):
+    for fu in range(4):
+        assert topo.ring_of_fu(fu) == fu
+    with pytest.raises(ValueError):
+        topo.ring_of_fu(4)
+
+
+def test_ring_hops_unidirectional():
+    topo = Topology(spp1000(n_hypernodes=4))
+    assert topo.ring_hops(0, 1) == 1
+    assert topo.ring_hops(1, 0) == 3  # must go the long way round
+    assert topo.ring_hops(2, 2) == 0
+
+
+@given(hn=st.integers(0, 15), fu=st.integers(0, 3), slot=st.integers(0, 1))
+def test_locate_roundtrips_cpu_id(hn, fu, slot):
+    topo = Topology(spp1000(n_hypernodes=16))
+    cpu = topo.cpu_id(hn, fu, slot)
+    loc = topo.locate(cpu)
+    assert (loc.hypernode, loc.fu, loc.slot) == (hn, fu, slot)
+
+
+@given(cpu=st.integers(0, 127))
+def test_cpu_id_roundtrips_locate(cpu):
+    topo = Topology(spp1000(n_hypernodes=16))
+    loc = topo.locate(cpu)
+    assert topo.cpu_id(loc.hypernode, loc.fu, loc.slot) == cpu

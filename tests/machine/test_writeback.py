@@ -1,0 +1,107 @@
+"""Tests for dirty-line writeback on eviction."""
+
+import pytest
+
+from repro.core import spp1000
+from repro.machine import Machine, MemClass
+
+CFG = spp1000(2)
+
+
+def run(machine, gen):
+    return machine.sim.run(until=machine.sim.process(gen))
+
+
+def conflicting_addrs(machine, region):
+    """Two addresses mapping to the same direct-mapped cache set."""
+    a = region.addr(0)
+    b = region.addr(CFG.dcache_bytes)
+    assert machine.caches[0].set_of(machine.line_of(a)) == \
+        machine.caches[0].set_of(machine.line_of(b))
+    return a, b
+
+
+@pytest.fixture
+def setup():
+    machine = Machine(CFG)
+    region = machine.alloc(CFG.dcache_bytes + CFG.page_bytes,
+                           MemClass.NEAR_SHARED, home_hypernode=0)
+    return machine, region
+
+
+def test_clean_eviction_writes_nothing_back(setup):
+    machine, region = setup
+    a, b = conflicting_addrs(machine, region)
+
+    def prog():
+        yield machine.load(0, a)      # clean copy
+        yield machine.load(0, b)      # evicts the clean line
+
+    run(machine, prog())
+    assert machine.tracer.count("cache.writeback") == 0
+
+
+def test_dirty_eviction_writes_back(setup):
+    machine, region = setup
+    a, b = conflicting_addrs(machine, region)
+
+    def prog():
+        yield machine.store(0, a, 42)   # dirty copy
+        yield machine.load(0, b)        # evicts the dirty line
+
+    run(machine, prog())
+    assert machine.tracer.count("cache.writeback") == 1
+
+
+def test_dirty_eviction_costs_a_bank_visit(setup):
+    machine, region = setup
+    a, b = conflicting_addrs(machine, region)
+
+    def clean_case():
+        yield machine.load(0, a)
+        t0 = machine.sim.now
+        yield machine.load(0, b)
+        return machine.sim.now - t0
+
+    t_clean = run(machine, clean_case())
+    machine2 = Machine(CFG)
+    region2 = machine2.alloc(CFG.dcache_bytes + CFG.page_bytes,
+                             MemClass.NEAR_SHARED, home_hypernode=0)
+    a2, b2 = conflicting_addrs(machine2, region2)
+
+    def dirty_case():
+        yield machine2.store(0, a2, 1)
+        t0 = machine2.sim.now
+        yield machine2.load(0, b2)
+        return machine2.sim.now - t0
+
+    t_dirty = run(machine2, dirty_case())
+    assert t_dirty > t_clean
+
+
+def test_value_survives_dirty_eviction(setup):
+    machine, region = setup
+    a, b = conflicting_addrs(machine, region)
+
+    def prog():
+        yield machine.store(0, a, 123)
+        yield machine.load(0, b)          # evict dirty a
+        value = yield machine.load(0, a)  # re-fetch from memory
+        return value
+
+    assert run(machine, prog()) == 123
+
+
+def test_shared_dirty_line_not_written_back_by_reader(setup):
+    """Only the sole modified owner writes back; a shared (downgraded)
+    copy leaves silently."""
+    machine, region = setup
+    a, b = conflicting_addrs(machine, region)
+
+    def prog():
+        yield machine.store(0, a, 7)
+        yield machine.load(1, a)     # downgrade: now shared by 0 and 1
+        yield machine.load(1, b)     # cpu 1 evicts its shared copy
+
+    run(machine, prog())
+    assert machine.tracer.count("cache.writeback") == 0

@@ -1,0 +1,66 @@
+"""Tests for the Cray C90 reference model."""
+
+import pytest
+
+from repro.core.units import seconds
+from repro.perfmodel import C90Model, C90Profile
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        C90Profile(vector_fraction=1.2)
+    with pytest.raises(ValueError):
+        C90Profile(0.5, gather_fraction=-0.1)
+    with pytest.raises(ValueError):
+        C90Profile(0.5, avg_vector_length=0)
+
+
+def test_fully_scalar_code_runs_at_scalar_rate():
+    model = C90Model()
+    rate = model.sustained_mflops(C90Profile(vector_fraction=0.0))
+    assert rate == pytest.approx(model.scalar_mflops)
+
+
+def test_perfect_vector_code_approaches_peak():
+    model = C90Model()
+    rate = model.sustained_mflops(
+        C90Profile(vector_fraction=1.0, avg_vector_length=10_000))
+    assert rate > 0.9 * model.peak_mflops
+
+
+def test_gather_scatter_slows_vector_work():
+    model = C90Model()
+    clean = model.sustained_mflops(C90Profile(0.95, gather_fraction=0.0))
+    dirty = model.sustained_mflops(C90Profile(0.95, gather_fraction=0.6))
+    assert dirty < clean
+
+
+def test_short_vectors_hurt():
+    model = C90Model()
+    long_v = model.sustained_mflops(C90Profile(1.0, avg_vector_length=128))
+    short_v = model.sustained_mflops(C90Profile(1.0, avg_vector_length=8))
+    assert short_v < 0.5 * long_v
+
+
+def test_time_ns_consistency():
+    model = C90Model()
+    profile = C90Profile(0.9)
+    rate = model.sustained_mflops(profile)
+    t = model.time_ns(rate * 1e6, profile)  # one second of work
+    assert t == pytest.approx(seconds(1.0))
+    with pytest.raises(ValueError):
+        model.time_ns(-1, profile)
+
+
+def test_rates_can_reproduce_papers_yardsticks():
+    """The paper's three C90 rates are reachable with plausible profiles."""
+    model = C90Model()
+    pic = model.sustained_mflops(
+        C90Profile(0.97, avg_vector_length=64, gather_fraction=0.45))
+    fem = model.sustained_mflops(
+        C90Profile(0.95, avg_vector_length=48, gather_fraction=0.75))
+    tree = model.sustained_mflops(
+        C90Profile(0.88, avg_vector_length=24, gather_fraction=0.9))
+    assert 300 <= pic <= 430     # paper: 355-369
+    assert 200 <= fem <= 310     # paper: 250
+    assert 95 <= tree <= 170     # paper: 120

@@ -1,0 +1,169 @@
+"""Tests for the phase-level execution model."""
+
+import pytest
+
+from repro.core import spp1000
+from repro.core.units import MIB
+from repro.perfmodel import (
+    Access,
+    LocalityMix,
+    Msg,
+    PerformanceModel,
+    Phase,
+    StepWork,
+    TeamSpec,
+)
+from repro.runtime import Placement
+
+CFG = spp1000(2)
+MODEL = PerformanceModel(CFG)
+
+
+def team(n, placement=Placement.HIGH_LOCALITY):
+    return TeamSpec(CFG, n, placement)
+
+
+def simple_step(n_threads, **phase_kwargs):
+    defaults = dict(flops=1e6, traffic_bytes=1e6,
+                    working_set_bytes=256 * 1024)
+    defaults.update(phase_kwargs)
+    phase = Phase("work", **defaults)
+    return StepWork([[phase] for _ in range(n_threads)])
+
+
+# -- spill ramp -------------------------------------------------------------
+
+def test_cache_resident_data_has_no_spill():
+    assert MODEL.spill_fraction(100 * 1024, Access.STREAM) == 0.0
+
+
+def test_oversized_working_set_fully_spills():
+    assert MODEL.spill_fraction(4 * MIB, Access.STREAM) == 1.0
+
+
+def test_spill_ramp_is_monotone():
+    points = [MODEL.spill_fraction(ws, Access.STREAM)
+              for ws in range(0, 4 * MIB, 128 * 1024)]
+    assert points == sorted(points)
+    assert points[0] == 0.0 and points[-1] == 1.0
+
+
+def test_random_access_spills_earlier_than_streaming():
+    ws = int(0.7 * MIB)
+    assert MODEL.spill_fraction(ws, Access.RANDOM) > \
+        MODEL.spill_fraction(ws, Access.STREAM)
+
+
+# -- phase time structure -----------------------------------------------------
+
+def test_flop_bound_phase_time():
+    phase = Phase("compute", flops=1e6, traffic_bytes=0.0)
+    t = MODEL.phase_time_ns(phase, team(1), 0)
+    assert t == pytest.approx(CFG.cycles(1e6 * CFG.flop_cycles))
+
+
+def test_cache_resident_vs_spilled_factor_about_three():
+    """Paper §6: in-cache vs in-memory versions of the same problem can
+    differ by a factor of ~3 on a single hypernode."""
+    resident = Phase("r", flops=1e6, traffic_bytes=4e6,
+                     working_set_bytes=256 * 1024, access=Access.RANDOM)
+    spilled = Phase("s", flops=1e6, traffic_bytes=4e6,
+                    working_set_bytes=16 * MIB, access=Access.RANDOM)
+    t_res = MODEL.phase_time_ns(resident, team(8), 0)
+    t_spill = MODEL.phase_time_ns(spilled, team(8), 0)
+    ratio = t_spill / t_res
+    assert 2.0 <= ratio <= 6.0, f"in-memory/in-cache ratio {ratio:.1f}"
+
+
+def test_remote_traffic_costs_more_than_local():
+    local = Phase("l", traffic_bytes=1e6, working_set_bytes=16 * MIB,
+                  locality=LocalityMix(1.0, 0.0, 0.0))
+    remote = Phase("r", traffic_bytes=1e6, working_set_bytes=16 * MIB,
+                   locality=LocalityMix(0.0, 0.0, 1.0))
+    tm = team(16, Placement.UNIFORM)
+    t_local = MODEL.phase_time_ns(local, tm, 0)
+    t_remote = MODEL.phase_time_ns(remote, tm, 0)
+    assert t_remote / t_local > 4.0
+
+
+def test_random_misses_cost_more_than_streamed():
+    stream = Phase("s", traffic_bytes=1e6, working_set_bytes=16 * MIB,
+                   access=Access.STREAM)
+    rand = Phase("g", traffic_bytes=1e6, working_set_bytes=16 * MIB,
+                 access=Access.RANDOM)
+    assert MODEL.phase_time_ns(rand, team(1), 0) > \
+        2 * MODEL.phase_time_ns(stream, team(1), 0)
+
+
+def test_messages_add_cost():
+    quiet = Phase("q", flops=1e5)
+    chatty = Phase("c", flops=1e5, messages=(Msg(8192, remote=True),))
+    assert MODEL.phase_time_ns(chatty, team(2), 0) > \
+        MODEL.phase_time_ns(quiet, team(2), 0)
+
+
+def test_contention_inflates_crowded_hypernode():
+    phase = Phase("x", traffic_bytes=1e6, working_set_bytes=16 * MIB)
+    alone = MODEL.phase_time_ns(phase, team(1), 0)
+    crowded = MODEL.phase_time_ns(phase, team(8), 0)
+    assert crowded > alone
+    assert crowded < 2.0 * alone  # modest, not catastrophic
+
+
+# -- step / run -----------------------------------------------------------------
+
+def test_step_time_is_critical_path_plus_barrier():
+    fast = Phase("fast", flops=1e4)
+    slow = Phase("slow", flops=1e6)
+    step = StepWork([[slow], [fast]], barriers=0)
+    t = MODEL.step_time_ns(step, team(2))
+    assert t == pytest.approx(CFG.cycles(1e6 * CFG.flop_cycles))
+    with_barrier = StepWork([[slow], [fast]], barriers=1)
+    assert MODEL.step_time_ns(with_barrier, team(2)) > t
+
+
+def test_step_thread_count_must_match_team():
+    step = simple_step(4)
+    with pytest.raises(ValueError):
+        MODEL.step_time_ns(step, team(8))
+
+
+def test_full_machine_pays_os_interference():
+    step15 = simple_step(15)
+    step16 = simple_step(16)
+    t15 = MODEL.step_time_ns(step15, team(15)) / 15
+    t16 = MODEL.step_time_ns(step16, team(16)) / 16
+    # per-thread time at 16 is inflated beyond the contention trend
+    per_thread_15 = MODEL.step_time_ns(step15, team(15))
+    per_thread_16 = MODEL.step_time_ns(step16, team(16))
+    assert per_thread_16 > per_thread_15
+
+
+def test_run_scales_with_repeat():
+    step = simple_step(4)
+    tm = team(4)
+    one = MODEL.run([step], tm, repeat=1)
+    ten = MODEL.run([step], tm, repeat=10)
+    assert ten.time_ns == pytest.approx(10 * one.time_ns)
+    assert ten.flops == pytest.approx(10 * one.flops)
+    assert ten.mflops == pytest.approx(one.mflops)
+
+
+def test_run_rejects_bad_repeat():
+    with pytest.raises(ValueError):
+        MODEL.run([simple_step(1)], team(1), repeat=0)
+
+
+def test_parallel_speedup_emerges():
+    """A perfectly divisible workload speeds up with threads, sublinearly."""
+    total_flops, total_bytes = 8e7, 8e7
+
+    def step(n):
+        per = Phase("w", flops=total_flops / n, traffic_bytes=total_bytes / n,
+                    working_set_bytes=total_bytes / n)
+        return StepWork([[per] for _ in range(n)])
+
+    t1 = MODEL.step_time_ns(step(1), team(1))
+    t8 = MODEL.step_time_ns(step(8), team(8))
+    speedup = t1 / t8
+    assert 5.0 <= speedup <= 8.0, f"8-thread speedup {speedup:.2f}"

@@ -1,0 +1,59 @@
+"""Tests for the shared message-buffer pool."""
+
+import pytest
+
+from repro import Machine, spp1000
+from repro.pvm import BufferPool
+
+
+@pytest.fixture
+def pool():
+    return BufferPool(Machine(spp1000(2)))
+
+
+def test_small_message_uses_fast_buffer(pool):
+    lease = pool.acquire(tid=0, hypernode=0, nbytes=64)
+    assert lease.fresh_pages == 0
+    assert lease.nbytes == 64
+
+
+def test_fast_buffer_reused_per_task(pool):
+    a = pool.acquire(0, 0, 100)
+    b = pool.acquire(0, 0, 200)
+    assert a.addr == b.addr
+
+
+def test_distinct_tasks_get_distinct_fast_buffers(pool):
+    a = pool.acquire(0, 0, 100)
+    b = pool.acquire(1, 0, 100)
+    assert a.addr != b.addr
+
+
+def test_eight_kb_is_the_fast_path_boundary(pool):
+    assert pool.fastbuf_bytes == 8192
+    at = pool.acquire(0, 0, 8192)
+    over = pool.acquire(0, 0, 8193)
+    assert at.fresh_pages == 0
+    assert over.fresh_pages == 3  # rounds up to 3 pages
+
+
+def test_large_message_pays_per_page(pool):
+    lease = pool.acquire(0, 0, 64 * 1024)
+    assert lease.fresh_pages == 16
+
+
+def test_large_buffers_are_not_reused(pool):
+    a = pool.acquire(0, 0, 64 * 1024)
+    b = pool.acquire(0, 0, 64 * 1024)
+    assert a.addr != b.addr  # fresh mapping each time (fresh page cost)
+
+
+def test_zero_size_rejected(pool):
+    with pytest.raises(ValueError):
+        pool.acquire(0, 0, 0)
+
+
+def test_buffer_homed_on_sender_hypernode(pool):
+    lease = pool.acquire(0, 1, 100)
+    home = pool.machine.space.home_of(lease.addr)
+    assert home.hypernode == 1

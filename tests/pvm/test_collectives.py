@@ -1,0 +1,115 @@
+"""Tests for PVM collective operations."""
+
+import pytest
+
+from repro import Machine, spp1000
+from repro.pvm import (
+    PvmSystem,
+    pvm_allreduce,
+    pvm_barrier,
+    pvm_bcast,
+    pvm_gather,
+    pvm_reduce,
+)
+from repro.runtime import Placement, Runtime
+
+
+def run_collective(n_tasks, body, placement=Placement.HIGH_LOCALITY):
+    pvm = PvmSystem(Runtime(Machine(spp1000(2))))
+    return pvm.run_tasks(n_tasks, body, placement)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+def test_barrier_holds_everyone(n):
+    exits = {}
+
+    def body(task, tid):
+        # task n-1 arrives late
+        if tid == n - 1:
+            yield task.env.compute(200_000)
+        yield from pvm_barrier(task, n)
+        exits[tid] = task.env.now
+        return None
+
+    run_collective(n, body)
+    assert len(exits) == n
+    assert min(exits.values()) >= 2_000_000  # nobody left before the late one
+
+
+@pytest.mark.parametrize("n,root", [(4, 0), (5, 2), (8, 7), (3, 1)])
+def test_bcast_delivers_to_all(n, root):
+    def body(task, tid):
+        payload = f"from-{root}" if tid == root else None
+        value = yield from pvm_bcast(task, root, n, payload, nbytes=16)
+        return value
+
+    results = run_collective(n, body)
+    assert results == [f"from-{root}"] * n
+
+
+@pytest.mark.parametrize("n,root", [(2, 0), (4, 0), (6, 3), (8, 5)])
+def test_reduce_sums_at_root(n, root):
+    def body(task, tid):
+        result = yield from pvm_reduce(task, root, n, tid + 1,
+                                       op=lambda a, b: a + b)
+        return result
+
+    results = run_collective(n, body)
+    expected = sum(range(1, n + 1))
+    for tid, result in enumerate(results):
+        assert result == (expected if tid == root else None)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+def test_allreduce_everyone_gets_total(n):
+    def body(task, tid):
+        total = yield from pvm_allreduce(task, n, 2 ** tid,
+                                         op=lambda a, b: a + b)
+        return total
+
+    results = run_collective(n, body, Placement.UNIFORM)
+    assert results == [2 ** n - 1] * n
+
+
+def test_allreduce_with_max(n=6):
+    values = [5, 2, 19, 3, 11, 7]
+
+    def body(task, tid):
+        return (yield from pvm_allreduce(task, n, values[tid], op=max))
+
+    assert run_collective(n, body) == [19] * n
+
+
+@pytest.mark.parametrize("n,root", [(4, 0), (5, 4)])
+def test_gather_collects_in_tid_order(n, root):
+    def body(task, tid):
+        return (yield from pvm_gather(task, root, n, tid * 10))
+
+    results = run_collective(n, body)
+    for tid, result in enumerate(results):
+        if tid == root:
+            assert result == [i * 10 for i in range(n)]
+        else:
+            assert result is None
+
+
+def test_single_task_collectives_trivial():
+    def body(task, tid):
+        yield from pvm_barrier(task, 1)
+        value = yield from pvm_bcast(task, 0, 1, "x")
+        total = yield from pvm_allreduce(task, 1, 5, op=lambda a, b: a + b)
+        return value, total
+
+    assert run_collective(1, body) == [("x", 5)]
+
+
+def test_consecutive_collectives_do_not_crosstalk():
+    def body(task, tid):
+        first = yield from pvm_allreduce(task, 4, tid, op=lambda a, b: a + b,
+                                         sequence=0)
+        second = yield from pvm_allreduce(task, 4, tid * tid,
+                                          op=lambda a, b: a + b, sequence=1)
+        return first, second
+
+    results = run_collective(4, body)
+    assert results == [(6, 14)] * 4

@@ -1,0 +1,29 @@
+"""Tests for message matching."""
+
+from hypothesis import given, strategies as st
+
+from repro.pvm import ANY_SOURCE, ANY_TAG, Message, matches
+
+
+def msg(src=1, tag=7):
+    return Message(src=src, dst=0, tag=tag, nbytes=8, payload=None,
+                   buffer_addr=0x1000, seq=1)
+
+
+def test_exact_match():
+    assert matches(msg(src=1, tag=7), source=1, tag=7)
+    assert not matches(msg(src=1, tag=7), source=2, tag=7)
+    assert not matches(msg(src=1, tag=7), source=1, tag=8)
+
+
+def test_wildcards():
+    assert matches(msg(src=3, tag=9), ANY_SOURCE, 9)
+    assert matches(msg(src=3, tag=9), 3, ANY_TAG)
+    assert matches(msg(src=3, tag=9), ANY_SOURCE, ANY_TAG)
+
+
+@given(src=st.integers(0, 10), tag=st.integers(0, 10),
+       q_src=st.integers(0, 10), q_tag=st.integers(0, 10))
+def test_match_is_conjunction(src, tag, q_src, q_tag):
+    m = msg(src=src, tag=tag)
+    assert matches(m, q_src, q_tag) == ((src == q_src) and (tag == q_tag))

@@ -1,0 +1,71 @@
+"""Property tests: PVM delivery semantics under random traffic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, spp1000
+from repro.pvm import PvmSystem
+from repro.runtime import Placement, Runtime
+
+
+@given(
+    payload_plan=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 200)),  # (tag, body)
+        min_size=1, max_size=12),
+    cross=st.booleans(),
+)
+@settings(max_examples=20, deadline=None)
+def test_per_tag_fifo_ordering(payload_plan, cross):
+    """Messages with the same tag from one sender arrive in send order,
+    regardless of interleaving with other tags."""
+    pvm = PvmSystem(Runtime(Machine(spp1000(2))))
+    by_tag = {}
+    for tag, body in payload_plan:
+        by_tag.setdefault(tag, []).append(body)
+
+    def sender(task):
+        for seq, (tag, body) in enumerate(payload_plan):
+            yield from task.send(1, (seq, body), 16, tag=tag)
+
+    def receiver(task):
+        got = {}
+        for tag, bodies in by_tag.items():
+            for _ in bodies:
+                seq_body = yield from task.recv(0, tag=tag)
+                got.setdefault(tag, []).append(seq_body[1])
+        return got
+
+    def body(task, tid):
+        if tid == 0:
+            yield from sender(task)
+            return None
+        return (yield from receiver(task))
+
+    placement = Placement.UNIFORM if cross else Placement.HIGH_LOCALITY
+    results = pvm.run_tasks(2, body, placement)
+    assert results[1] == by_tag
+
+
+@given(n_senders=st.integers(1, 6), per_sender=st.integers(1, 4))
+@settings(max_examples=15, deadline=None)
+def test_no_message_lost_under_fanin(n_senders, per_sender):
+    """A many-to-one pattern delivers every message exactly once."""
+    pvm = PvmSystem(Runtime(Machine(spp1000(2))))
+    n_tasks = n_senders + 1
+    sink = n_senders
+
+    def body(task, tid):
+        if tid != sink:
+            for k in range(per_sender):
+                yield from task.send(sink, (tid, k), 16)
+            return None
+        got = []
+        for _ in range(n_senders * per_sender):
+            got.append((yield from task.recv()))
+        return got
+
+    results = pvm.run_tasks(n_tasks, body)
+    received = results[sink]
+    expected = {(tid, k) for tid in range(n_senders)
+                for k in range(per_sender)}
+    assert set(received) == expected
+    assert len(received) == len(expected)

@@ -1,0 +1,131 @@
+"""Tests for asynchronous threads (paper §3.2's second thread class)."""
+
+import pytest
+
+from repro import Machine, spp1000
+from repro.runtime import Runtime
+
+
+@pytest.fixture
+def rt():
+    return Runtime(Machine(spp1000(2)))
+
+
+def test_parent_continues_while_child_runs(rt):
+    log = {}
+
+    def child(env, tid):
+        yield env.compute(100_000)   # 1 ms of work
+        log["child_done"] = env.now
+        return "child-result"
+
+    def main(env):
+        handle = yield from env.spawn_async(child)
+        log["parent_continued"] = env.now
+        result = yield from handle.join(env)
+        log["joined"] = env.now
+        return result
+
+    assert rt.run(main) == "child-result"
+    # parent resumed long before the child finished
+    assert log["parent_continued"] < log["child_done"]
+    assert log["joined"] >= log["child_done"]
+
+
+def test_join_after_child_finished_is_quick(rt):
+    def child(env, tid):
+        yield env.compute(10)
+        return 7
+
+    def main(env):
+        handle = yield from env.spawn_async(child)
+        yield env.compute(500_000)   # 5 ms: child long done
+        assert handle.finished
+        t0 = env.now
+        result = yield from handle.join(env)
+        return result, env.now - t0
+
+    result, join_time = rt.run(main)
+    assert result == 7
+    assert join_time < 50_000   # no waiting, just bookkeeping
+
+
+def test_many_async_children_round_robin_cpus(rt):
+    cpus = []
+
+    def child(env, tid):
+        cpus.append(env.cpu)
+        yield env.compute(10)
+        return env.cpu
+
+    def main(env):
+        handles = []
+        for _ in range(6):
+            handle = yield from env.spawn_async(child)
+            handles.append(handle)
+        results = []
+        for handle in handles:
+            results.append((yield from handle.join(env)))
+        return results
+
+    results = rt.run(main)
+    assert len(set(results)) == 6   # six distinct CPUs
+
+
+def test_explicit_cpu_placement(rt):
+    def child(env, tid):
+        yield env.compute(10)
+        return env.cpu
+
+    def main(env):
+        handle = yield from env.spawn_async(child, cpu=12)
+        return (yield from handle.join(env))
+
+    assert rt.run(main) == 12
+
+
+def test_invalid_cpu_rejected(rt):
+    def child(env, tid):  # pragma: no cover
+        yield env.compute(1)
+
+    def main(env):
+        yield from env.spawn_async(child, cpu=99)
+
+    with pytest.raises(ValueError):
+        rt.run(main)
+
+
+def test_cross_hypernode_async_spawn_costs_more(rt):
+    def child(env, tid):
+        yield env.compute(1)
+        return None
+
+    def main(env):
+        t0 = env.now
+        h1 = yield from env.spawn_async(child, cpu=1)   # same hypernode
+        local_cost = env.now - t0
+        t0 = env.now
+        h2 = yield from env.spawn_async(child, cpu=9)   # other hypernode
+        remote_cost = env.now - t0
+        yield from h1.join(env)
+        yield from h2.join(env)
+        return local_cost, remote_cost
+
+    local_cost, remote_cost = rt.run(main)
+    assert remote_cost > 1.5 * local_cost
+
+
+def test_async_child_can_fork_a_team(rt):
+    def grandchild(env, tid):
+        yield env.compute(10)
+        return tid
+
+    def child(env, tid):
+        results = yield from env.fork_join(2, grandchild)
+        return results
+
+    def main(env):
+        handle = yield from env.spawn_async(child, cpu=4)
+        return (yield from handle.join(env))
+
+    assert rt.run(main) == [0, 1]

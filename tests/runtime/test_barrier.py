@@ -1,0 +1,104 @@
+"""Tests for the semaphore+spin barrier (paper Fig 3 mechanism)."""
+
+import pytest
+
+from repro import Machine, spp1000
+from repro.core.units import to_us
+from repro.runtime import Barrier, Placement, Runtime
+
+
+def run_barrier_rounds(n, placement, rounds=5, stagger=True):
+    machine = Machine(spp1000(2))
+    rt = Runtime(machine)
+    bar = Barrier(rt, n)
+    entries = [[0.0] * n for _ in range(rounds)]
+    exits = [[0.0] * n for _ in range(rounds)]
+
+    def body(env, tid):
+        for r in range(rounds):
+            if stagger:
+                yield env.compute(40 * ((tid * 5 + r) % 7))
+            entries[r][tid] = env.now
+            yield from bar.wait(env)
+            exits[r][tid] = env.now
+
+    def main(env):
+        yield from env.fork_join(n, body, placement)
+
+    rt.run(main)
+    return entries, exits
+
+
+def test_no_thread_exits_before_last_enters():
+    entries, exits = run_barrier_rounds(8, Placement.HIGH_LOCALITY)
+    for en, ex in zip(entries, exits):
+        assert min(ex) >= max(en)
+
+
+def test_barrier_is_reusable_across_rounds():
+    entries, exits = run_barrier_rounds(4, Placement.UNIFORM, rounds=10)
+    for r in range(9):
+        # each thread exits round r before entering round r+1 ...
+        for t in range(4):
+            assert exits[r][t] <= entries[r + 1][t]
+        # ... and nobody leaves round r+1 before everyone arrived there
+        assert min(exits[r + 1]) >= max(entries[r + 1])
+
+
+def test_single_thread_barrier_is_trivial():
+    entries, exits = run_barrier_rounds(1, Placement.HIGH_LOCALITY, rounds=3)
+    for en, ex in zip(entries, exits):
+        assert ex[0] - en[0] < 10_000  # well under 10 us
+
+
+def test_barrier_rejects_zero_threads():
+    rt = Runtime(Machine(spp1000(2)))
+    with pytest.raises(ValueError):
+        Barrier(rt, 0)
+
+
+def lifo_lilo_us(n, placement):
+    entries, exits = run_barrier_rounds(n, placement, rounds=10)
+    lifo = min(min(ex) - max(en) for en, ex in zip(entries, exits))
+    lilo = min(max(ex) - max(en) for en, ex in zip(entries, exits))
+    return to_us(lifo), to_us(lilo)
+
+
+def test_lifo_on_one_hypernode_is_microseconds():
+    lifo, _ = lifo_lilo_us(8, Placement.HIGH_LOCALITY)
+    assert 1.0 <= lifo <= 8.0, f"LIFO {lifo:.2f} us"
+
+
+def test_lifo_pays_extra_when_crossing_hypernodes():
+    lifo_local, _ = lifo_lilo_us(8, Placement.HIGH_LOCALITY)
+    lifo_cross, _ = lifo_lilo_us(8, Placement.UNIFORM)
+    assert lifo_cross > lifo_local
+    assert lifo_cross - lifo_local <= 6.0  # small absolute penalty
+
+
+def test_lilo_grows_roughly_linearly_with_threads():
+    _, lilo4 = lifo_lilo_us(4, Placement.HIGH_LOCALITY)
+    _, lilo8 = lifo_lilo_us(8, Placement.HIGH_LOCALITY)
+    _, lilo16 = lifo_lilo_us(16, Placement.HIGH_LOCALITY)
+    assert lilo4 < lilo8 < lilo16
+    slope = (lilo16 - lilo8) / 8
+    assert 0.8 <= slope <= 4.0, f"release slope {slope:.2f} us/thread"
+
+
+def test_threads_blocked_until_late_arrival():
+    machine = Machine(spp1000(2))
+    rt = Runtime(machine)
+    bar = Barrier(rt, 4)
+    exit_times = {}
+
+    def body(env, tid):
+        if tid == 3:
+            yield env.compute(200_000)  # 2 ms late
+        yield from bar.wait(env)
+        exit_times[tid] = env.now
+
+    def main(env):
+        yield from env.fork_join(4, body)
+
+    rt.run(main)
+    assert all(t >= 2_000_000 for t in exit_times.values())

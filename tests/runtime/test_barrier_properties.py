@@ -1,0 +1,44 @@
+"""Property test: the barrier invariant under random teams and staggers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Machine, spp1000
+from repro.runtime import Barrier, Placement, Runtime
+
+
+@given(
+    n_threads=st.integers(2, 16),
+    rounds=st.integers(1, 3),
+    staggers=st.lists(st.integers(0, 2000), min_size=16, max_size=16),
+    uniform=st.booleans(),
+)
+@settings(max_examples=20, deadline=None)
+def test_no_exit_before_last_entry_ever(n_threads, rounds, staggers,
+                                        uniform):
+    """For any team size, placement, and arrival pattern: nobody leaves a
+    barrier round before the last participant has entered it."""
+    machine = Machine(spp1000(2))
+    runtime = Runtime(machine)
+    barrier = Barrier(runtime, n_threads)
+    entries = [[0.0] * n_threads for _ in range(rounds)]
+    exits = [[0.0] * n_threads for _ in range(rounds)]
+
+    def body(env, tid):
+        for r in range(rounds):
+            yield env.compute(staggers[(tid + r) % len(staggers)])
+            entries[r][tid] = env.now
+            yield from barrier.wait(env)
+            exits[r][tid] = env.now
+
+    def main(env):
+        placement = Placement.UNIFORM if uniform \
+            else Placement.HIGH_LOCALITY
+        yield from env.fork_join(n_threads, body, placement)
+
+    runtime.run(main)
+    for r in range(rounds):
+        assert min(exits[r]) >= max(entries[r]), (r, entries[r], exits[r])
+        # and per-thread round ordering
+        if r + 1 < rounds:
+            for t in range(n_threads):
+                assert exits[r][t] <= entries[r + 1][t]

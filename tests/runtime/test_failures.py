@@ -1,0 +1,112 @@
+"""Failure injection: errors must surface, not hang or vanish."""
+
+import pytest
+
+from repro import Machine, spp1000
+from repro.pvm import PvmSystem
+from repro.runtime import Runtime
+from repro.sim import DeadlockError
+
+
+@pytest.fixture
+def rt():
+    return Runtime(Machine(spp1000(2)))
+
+
+def test_child_exception_propagates_out_of_run(rt):
+    def body(env, tid):
+        yield env.compute(10)
+        if tid == 2:
+            raise RuntimeError("child blew up")
+        return tid
+
+    def main(env):
+        yield from env.fork_join(4, body)
+
+    with pytest.raises(RuntimeError, match="child blew up"):
+        rt.run(main)
+
+
+def test_main_thread_exception_propagates(rt):
+    def main(env):
+        yield env.compute(10)
+        raise ValueError("main failed")
+
+    with pytest.raises(ValueError, match="main failed"):
+        rt.run(main)
+
+
+def test_unmatched_recv_deadlocks_loudly():
+    pvm = PvmSystem(Runtime(Machine(spp1000(2))))
+
+    def body(task, tid):
+        if tid == 1:
+            yield from task.recv(0)   # nobody ever sends
+        else:
+            yield task.env.compute(10)
+        return None
+
+    with pytest.raises(DeadlockError):
+        pvm.run_tasks(2, body)
+
+
+def test_barrier_with_missing_participant_deadlocks():
+    machine = Machine(spp1000(2))
+    rt = Runtime(machine)
+    from repro.runtime import Barrier
+
+    bar = Barrier(rt, 4)   # sized for 4, only 3 will arrive
+
+    def body(env, tid):
+        yield from bar.wait(env)
+
+    def main(env):
+        yield from env.fork_join(3, body)
+
+    with pytest.raises(DeadlockError):
+        rt.run(main)
+
+
+def test_access_to_unmapped_address_raises(rt):
+    def main(env):
+        yield env.load(0)   # address 0 is deliberately unmapped
+
+    with pytest.raises(KeyError):
+        rt.run(main)
+
+
+def test_send_to_missing_task_raises():
+    pvm = PvmSystem(Runtime(Machine(spp1000(2))))
+
+    def body(task, tid):
+        yield from task.send(7, "x", 8)   # only 2 tasks exist
+        return None
+
+    with pytest.raises(KeyError):
+        pvm.run_tasks(2, body)
+
+
+def test_exception_in_one_child_does_not_corrupt_machine_state(rt):
+    attempts = {"count": 0}
+
+    def body(env, tid):
+        attempts["count"] += 1
+        yield env.compute(10)
+        if tid == 0:
+            raise RuntimeError("first try fails")
+        return tid
+
+    def main(env):
+        yield from env.fork_join(2, body)
+
+    with pytest.raises(RuntimeError):
+        rt.run(main)
+    # the machine survives for a fresh run on the same runtime
+    def ok_body(env, tid):
+        yield env.compute(10)
+        return tid
+
+    def main2(env):
+        return (yield from env.fork_join(2, ok_body))
+
+    assert rt.run(main2) == [0, 1]

@@ -1,0 +1,156 @@
+"""Tests for fork-join on the simulated machine (paper Fig 2 mechanism)."""
+
+import pytest
+
+from repro import Machine, spp1000
+from repro.core.units import to_us
+from repro.runtime import Placement, Runtime
+
+
+def empty_body(env, tid):
+    return tid
+    yield  # pragma: no cover - makes this a generator
+
+
+def forkjoin_time_us(n, placement, n_hypernodes=2):
+    machine = Machine(spp1000(n_hypernodes))
+    rt = Runtime(machine)
+
+    def main(env):
+        t0 = env.now
+        results = yield from env.fork_join(n, empty_body, placement)
+        return env.now - t0, results
+
+    elapsed, results = rt.run(main)
+    assert results == list(range(n))
+    return to_us(elapsed)
+
+
+def test_children_run_and_return_results():
+    machine = Machine(spp1000(2))
+    rt = Runtime(machine)
+
+    def body(env, tid):
+        yield env.compute(100)
+        return tid * tid
+
+    def main(env):
+        return (yield from env.fork_join(4, body))
+
+    assert rt.run(main) == [0, 1, 4, 9]
+
+
+def test_children_actually_run_on_assigned_cpus():
+    machine = Machine(spp1000(2))
+    rt = Runtime(machine)
+    cpus_seen = []
+
+    def body(env, tid):
+        cpus_seen.append((tid, env.cpu))
+        return None
+        yield  # pragma: no cover
+
+    def main(env):
+        yield from env.fork_join(4, body, Placement.UNIFORM)
+
+    rt.run(main)
+    assert sorted(cpus_seen) == [(0, 0), (1, 8), (2, 1), (3, 9)]
+
+
+def test_join_waits_for_slowest_child():
+    machine = Machine(spp1000(2))
+    rt = Runtime(machine)
+
+    def body(env, tid):
+        yield env.compute(100_000 if tid == 3 else 10)  # 1 ms vs 100 ns
+        return env.now
+
+    def main(env):
+        yield from env.fork_join(4, body)
+        return env.now
+
+    end = rt.run(main)
+    assert end >= 1_000_000  # the ms-long child completed before the join
+
+
+def test_fork_cost_grows_with_thread_count():
+    times = [forkjoin_time_us(n, Placement.HIGH_LOCALITY) for n in (2, 4, 8)]
+    assert times[0] < times[1] < times[2]
+    # roughly linear: normalised per-pair increments comparable
+    d1 = times[1] - times[0]          # one extra pair
+    d2 = (times[2] - times[1]) / 2    # two extra pairs
+    assert 0.5 < d1 / d2 < 2.0
+
+
+def test_local_pair_costs_about_10us():
+    d = (forkjoin_time_us(8, Placement.HIGH_LOCALITY)
+         - forkjoin_time_us(6, Placement.HIGH_LOCALITY))
+    assert 5.0 <= d <= 20.0, f"per-pair cost {d:.1f} us"
+
+
+def test_uniform_pair_costs_about_twice_local():
+    local = (forkjoin_time_us(8, Placement.HIGH_LOCALITY)
+             - forkjoin_time_us(6, Placement.HIGH_LOCALITY))
+    uniform = (forkjoin_time_us(8, Placement.UNIFORM)
+               - forkjoin_time_us(6, Placement.UNIFORM))
+    assert 1.3 <= uniform / local <= 3.5
+
+
+def test_crossing_hypernodes_pays_a_large_step():
+    # High locality: n=8 fits one hypernode, n=10 spills onto the second.
+    t8 = forkjoin_time_us(8, Placement.HIGH_LOCALITY)
+    t10 = forkjoin_time_us(10, Placement.HIGH_LOCALITY)
+    step = t10 - t8
+    local_pair = t8 - forkjoin_time_us(6, Placement.HIGH_LOCALITY)
+    # The step includes one extra pair plus the ~50us cross-node setup.
+    assert step > local_pair + 25.0, f"crossing step only {step:.1f} us"
+
+
+def test_cross_node_setup_charged_once():
+    machine = Machine(spp1000(2))
+    rt = Runtime(machine)
+    durations = []
+
+    def main(env):
+        for _ in range(2):
+            t0 = env.now
+            yield from env.fork_join(10, empty_body, Placement.HIGH_LOCALITY)
+            durations.append(env.now - t0)
+
+    rt.run(main)
+    # the second fork-join skips the one-time setup
+    setup_ns = machine.config.cycles(machine.config.cross_node_setup_cycles)
+    assert durations[0] - durations[1] >= 0.8 * setup_ns
+
+
+def test_nested_fork_join():
+    machine = Machine(spp1000(2))
+    rt = Runtime(machine)
+
+    def inner(env, tid):
+        yield env.compute(10)
+        return tid + 100
+
+    def outer(env, tid):
+        if tid == 0:
+            sub = yield from env.fork_join(2, inner)
+            return sub
+        yield env.compute(10)
+        return tid
+
+    def main(env):
+        return (yield from env.fork_join(2, outer))
+
+    results = rt.run(main)
+    assert results == [[100, 101], 1]
+
+
+def test_single_hypernode_machine_rejects_oversubscription():
+    machine = Machine(spp1000(1))
+    rt = Runtime(machine)
+
+    def main(env):
+        yield from env.fork_join(9, empty_body)
+
+    with pytest.raises(ValueError):
+        rt.run(main)

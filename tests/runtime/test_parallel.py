@@ -1,0 +1,143 @@
+"""Tests for the parallel loop directives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Machine, spp1000
+from repro.runtime import (
+    LoopSchedule,
+    Placement,
+    Runtime,
+    iteration_slices,
+    parallel_for,
+    parallel_reduce,
+)
+
+
+# -- scheduling ---------------------------------------------------------------
+
+def test_block_schedule_contiguous_and_balanced():
+    slices = iteration_slices(10, 3, LoopSchedule.BLOCK)
+    assert slices == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+
+def test_cyclic_schedule_round_robins():
+    slices = iteration_slices(7, 3, LoopSchedule.CYCLIC)
+    assert slices == [[0, 3, 6], [1, 4], [2, 5]]
+
+
+def test_chunked_schedule():
+    slices = iteration_slices(10, 2, LoopSchedule.CHUNKED, chunk=3)
+    assert slices == [[0, 1, 2, 6, 7, 8], [3, 4, 5, 9]]
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        iteration_slices(-1, 2)
+    with pytest.raises(ValueError):
+        iteration_slices(4, 0)
+    with pytest.raises(ValueError):
+        iteration_slices(4, 2, LoopSchedule.CHUNKED, chunk=0)
+
+
+@given(n=st.integers(0, 200), p=st.integers(1, 16),
+       schedule=st.sampled_from(list(LoopSchedule)),
+       chunk=st.integers(1, 7))
+def test_every_iteration_scheduled_exactly_once(n, p, schedule, chunk):
+    slices = iteration_slices(n, p, schedule, chunk)
+    assert len(slices) == p
+    flat = sorted(i for s in slices for i in s)
+    assert flat == list(range(n))
+
+
+@given(n=st.integers(1, 200), p=st.integers(1, 16))
+def test_block_schedule_balanced_within_one(n, p):
+    slices = iteration_slices(n, p, LoopSchedule.BLOCK)
+    sizes = [len(s) for s in slices]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# -- execution on the machine ----------------------------------------------------
+
+@pytest.fixture
+def rt():
+    return Runtime(Machine(spp1000(2)))
+
+
+def test_parallel_for_returns_results_in_order(rt):
+    def iteration(env, i):
+        yield env.compute(10)
+        return i * i
+
+    def main(env):
+        return (yield from parallel_for(env, 12, iteration, n_threads=4))
+
+    assert rt.run(main) == [i * i for i in range(12)]
+
+
+def test_parallel_for_runs_concurrently(rt):
+    def iteration(env, i):
+        yield env.compute(100_000)  # 1 ms each
+        return None
+
+    def main(env):
+        t0 = env.now
+        yield from parallel_for(env, 8, iteration, n_threads=8)
+        return env.now - t0
+
+    elapsed = rt.run(main)
+    assert elapsed < 8 * 1_000_000  # far less than serial
+
+
+def test_parallel_for_iterations_touch_simulated_memory(rt):
+    word = rt.alloc_sync_word(0, 0)
+
+    def iteration(env, i):
+        yield env.fetch_add(word, 1)
+        return None
+
+    def main(env):
+        yield from parallel_for(env, 20, iteration, n_threads=4,
+                                schedule=LoopSchedule.CYCLIC)
+
+    rt.run(main)
+    assert rt.machine.peek(word) == 20
+
+
+def test_parallel_reduce_sums(rt):
+    def iteration(env, i):
+        yield env.compute(5)
+        return i
+
+    def main(env):
+        total = yield from parallel_reduce(
+            env, 100, iteration, combine=lambda a, b: a + b, initial=0,
+            n_threads=8, placement=Placement.UNIFORM)
+        return total
+
+    assert rt.run(main) == sum(range(100))
+
+
+def test_parallel_reduce_max(rt):
+    values = [3, 1, 41, 5, 9, 2, 6]
+
+    def iteration(env, i):
+        yield env.compute(1)
+        return values[i]
+
+    def main(env):
+        return (yield from parallel_reduce(
+            env, len(values), iteration, combine=max,
+            initial=float("-inf"), n_threads=3))
+
+    assert rt.run(main) == 41
+
+
+def test_parallel_for_empty_loop(rt):
+    def iteration(env, i):  # pragma: no cover - never called
+        yield env.compute(1)
+
+    def main(env):
+        return (yield from parallel_for(env, 0, iteration, n_threads=4))
+
+    assert rt.run(main) == []

@@ -1,0 +1,66 @@
+"""Tests for thread placement policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import spp1000
+from repro.runtime import Placement, assign, hypernodes_used
+
+CFG = spp1000(n_hypernodes=2)
+
+
+def test_high_locality_fills_first_hypernode_first():
+    cpus = assign(CFG, 8, Placement.HIGH_LOCALITY)
+    assert cpus == list(range(8))
+    assert hypernodes_used(CFG, cpus) == [0]
+
+
+def test_high_locality_spills_to_second_hypernode():
+    cpus = assign(CFG, 10, Placement.HIGH_LOCALITY)
+    assert cpus == list(range(10))
+    assert hypernodes_used(CFG, cpus) == [0, 1]
+
+
+def test_uniform_alternates_hypernodes():
+    cpus = assign(CFG, 4, Placement.UNIFORM)
+    assert cpus == [0, 8, 1, 9]
+    assert hypernodes_used(CFG, cpus) == [0, 1]
+
+
+def test_uniform_single_thread_stays_local():
+    assert assign(CFG, 1, Placement.UNIFORM) == [0]
+
+
+def test_uniform_balances_counts():
+    cpus = assign(CFG, 16, Placement.UNIFORM)
+    hn0 = sum(1 for c in cpus if c < 8)
+    hn1 = sum(1 for c in cpus if c >= 8)
+    assert hn0 == hn1 == 8
+
+
+def test_thread_count_bounds():
+    with pytest.raises(ValueError):
+        assign(CFG, 0)
+    with pytest.raises(ValueError):
+        assign(CFG, 17)
+
+
+def test_unknown_placement_rejected():
+    with pytest.raises(TypeError):
+        assign(CFG, 2, "not-a-placement")
+
+
+@given(n=st.integers(1, 16),
+       placement=st.sampled_from(list(Placement)))
+def test_assignments_are_distinct_valid_cpus(n, placement):
+    cpus = assign(CFG, n, placement)
+    assert len(cpus) == n
+    assert len(set(cpus)) == n
+    assert all(0 <= c < CFG.n_cpus for c in cpus)
+
+
+@given(n=st.integers(2, 16))
+def test_uniform_is_balanced_within_one(n):
+    cpus = assign(CFG, n, Placement.UNIFORM)
+    counts = [sum(1 for c in cpus if c // 8 == hn) for hn in range(2)]
+    assert abs(counts[0] - counts[1]) <= 1

@@ -1,0 +1,156 @@
+"""Tests for semaphores, critical sections, and gates."""
+
+import pytest
+
+from repro import Machine, spp1000
+from repro.runtime import (
+    CountingSemaphore,
+    CriticalSection,
+    Gate,
+    Placement,
+    Runtime,
+)
+
+
+@pytest.fixture
+def rt():
+    return Runtime(Machine(spp1000(2)))
+
+
+def test_semaphore_counts(rt):
+    sem = CountingSemaphore(rt, initial=5)
+
+    def main(env):
+        old = yield from sem.add(env, -1)
+        return old
+
+    assert rt.run(main) == 5
+    assert sem.value == 4
+
+
+def test_semaphore_concurrent_adds_all_land(rt):
+    sem = CountingSemaphore(rt, initial=0)
+
+    def body(env, tid):
+        for _ in range(5):
+            yield from sem.add(env, 1)
+
+    def main(env):
+        yield from env.fork_join(8, body)
+
+    rt.run(main)
+    assert sem.value == 40
+
+
+def test_critical_section_is_mutually_exclusive(rt):
+    lock = CriticalSection(rt)
+    active = []
+    max_active = []
+
+    def body(env, tid):
+        yield from lock.acquire(env)
+        active.append(tid)
+        max_active.append(len(active))
+        yield env.compute(500)
+        active.remove(tid)
+        yield from lock.release(env)
+
+    def main(env):
+        yield from env.fork_join(8, body, Placement.UNIFORM)
+
+    rt.run(main)
+    assert max(max_active) == 1
+    assert len(max_active) == 8
+
+
+def test_critical_section_grants_in_ticket_order(rt):
+    lock = CriticalSection(rt)
+    order = []
+
+    def body(env, tid):
+        # stagger arrival so tickets are taken in tid order
+        yield env.compute(2000 * tid)
+        ticket = yield from lock.acquire(env)
+        order.append((ticket, tid))
+        yield env.compute(10_000)
+        yield from lock.release(env)
+
+    def main(env):
+        yield from env.fork_join(4, body)
+
+    rt.run(main)
+    assert [t for t, _ in order] == [0, 1, 2, 3]
+
+
+def test_critical_helper_wraps_body(rt):
+    lock = CriticalSection(rt)
+    counter = {"value": 0}
+
+    def body(env, tid):
+        for _ in range(3):
+            yield from lock.acquire(env)
+            counter["value"] += 1
+            yield from lock.release(env)
+
+    def main(env):
+        yield from env.fork_join(6, body)
+        yield from lock.critical(env, body_cycles=100)
+
+    rt.run(main)
+    assert counter["value"] == 18
+
+
+def test_gate_blocks_until_opened(rt):
+    gate = Gate(rt)
+    passed = []
+
+    def waiter(env, tid):
+        yield from gate.wait(env)
+        passed.append(env.now)
+
+    def main(env):
+        # children wait on the gate; open it after 1 ms
+        def opener(env2, tid):
+            if tid == 0:
+                yield env2.compute(100_000)
+                yield from gate.open(env2)
+            else:
+                yield from gate.wait(env2)
+                passed.append(env2.now)
+
+        yield from env.fork_join(4, opener)
+
+    rt.run(main)
+    assert len(passed) == 3
+    assert all(t >= 1_000_000 for t in passed)
+    assert gate.is_open
+
+
+def test_gate_close_rearms(rt):
+    gate = Gate(rt)
+
+    def main(env):
+        yield from gate.open(env)
+        yield from gate.wait(env)       # passes immediately
+        yield from gate.close(env)
+        return gate.is_open
+
+    assert rt.run(main) is False
+
+
+def test_remote_semaphore_slower_than_local(rt):
+    local = CountingSemaphore(rt, home_hypernode=0)
+    remote = CountingSemaphore(rt, home_hypernode=1)
+
+    def timed(env, sem):
+        t0 = env.now
+        yield from sem.add(env, 1)
+        return env.now - t0
+
+    def main(env):  # env runs on cpu 0 (hypernode 0)
+        t_local = yield from timed(env, local)
+        t_remote = yield from timed(env, remote)
+        return t_local, t_remote
+
+    t_local, t_remote = rt.run(main)
+    assert t_remote > 3 * t_local

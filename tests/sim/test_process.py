@@ -1,0 +1,175 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def p(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        return 99
+
+    proc = sim.process(p(sim))
+    assert proc.is_alive
+    assert sim.run(until=proc) == 99
+    assert not proc.is_alive
+    assert sim.now == 3.0
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+
+    def not_a_generator():
+        return 1
+
+    with pytest.raises(SimulationError):
+        sim.process(not_a_generator())
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulator()
+    log = []
+
+    def worker(sim, name, delay):
+        yield sim.timeout(delay)
+        log.append((sim.now, name))
+        yield sim.timeout(delay)
+        log.append((sim.now, name))
+
+    sim.process(worker(sim, "a", 10.0))
+    sim.process(worker(sim, "b", 3.0))
+    sim.run()
+    assert log == [(3.0, "b"), (6.0, "b"), (10.0, "a"), (20.0, "a")]
+
+
+def test_process_can_wait_on_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(5.0)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return result + "!"
+
+    proc = sim.process(parent(sim))
+    assert sim.run(until=proc) == "child-result!"
+
+
+def test_waiting_on_already_finished_process_resumes():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return 7
+
+    def parent(sim, child_proc):
+        yield sim.timeout(10.0)  # child long done by now
+        value = yield child_proc
+        return value
+
+    child_proc = sim.process(child(sim))
+    parent_proc = sim.process(parent(sim, child_proc))
+    assert sim.run(until=parent_proc) == 7
+    assert sim.now == 10.0
+
+
+def test_exception_in_process_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent(sim):
+        try:
+            yield sim.process(bad(sim))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    proc = sim.process(parent(sim))
+    assert sim.run(until=proc) == "caught inner"
+
+
+def test_uncaught_process_exception_surfaces_in_run():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("unhandled")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_yielding_non_event_fails_the_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    proc = sim.process(bad(sim))
+    proc.defused = True
+    sim.run()
+    assert proc.triggered and not proc.ok
+    assert isinstance(proc.value, SimulationError)
+
+
+def test_yielding_foreign_event_fails_the_process():
+    sim, other = Simulator(), Simulator()
+
+    def bad(sim, other):
+        yield other.timeout(1.0)
+
+    proc = sim.process(bad(sim, other))
+    proc.defused = True
+    sim.run()
+    assert proc.triggered and not proc.ok
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(1000.0)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    proc = sim.process(sleeper(sim))
+    sim.schedule_callback(5.0, lambda: proc.interrupt("wake up"))
+    sim.run()
+    assert log == [(5.0, "wake up")]
+
+
+def test_interrupt_terminated_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_many_processes_complete():
+    sim = Simulator()
+    done = []
+
+    def worker(sim, i):
+        yield sim.timeout(float(i % 7))
+        done.append(i)
+
+    for i in range(200):
+        sim.process(worker(sim, i))
+    sim.run()
+    assert sorted(done) == list(range(200))

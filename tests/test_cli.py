@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
+                   "table1", "table2", "ablations", "scale128"):
+        assert exp_id in out
+
+
+def test_unknown_experiment_fails_cleanly(capsys):
+    assert main(["not-an-experiment"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_run_single_experiment(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "4x16" in out
+
+
+def test_hypernode_option_is_honoured(capsys):
+    # the one-hypernode machine cannot cross hypernodes: fig3's uniform
+    # placement then equals high locality
+    assert main(["table1", "--hypernodes", "4"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_invalid_hypernode_count_raises():
+    with pytest.raises(ValueError):
+        main(["table1", "--hypernodes", "99"])

@@ -1,0 +1,71 @@
+"""Tests for the CXpa-style profiler."""
+
+import pytest
+
+from repro.apps.fem import FEMWorkload, small1_problem
+from repro.core import spp1000
+from repro.perfmodel import Phase, StepWork, TeamSpec
+from repro.runtime import Placement
+from repro.tools import CxpaProfiler
+
+CFG = spp1000(2)
+
+
+@pytest.fixture
+def profiler():
+    return CxpaProfiler(CFG)
+
+
+def test_profile_of_balanced_step_is_balanced(profiler):
+    phase = Phase("work", flops=1e6)
+    step = StepWork([[phase]] * 4)
+    report = profiler.profile(step, TeamSpec(CFG, 4))
+    assert len(report.phases) == 1
+    assert report.phases[0].imbalance == pytest.approx(1.0)
+    assert report.overall_imbalance == pytest.approx(1.0)
+
+
+def test_profile_exposes_imbalance(profiler):
+    heavy = Phase("work", flops=4e6)
+    light = Phase("work", flops=1e6)
+    step = StepWork([[heavy], [light], [light], [light]])
+    report = profiler.profile(step, TeamSpec(CFG, 4))
+    stats = report.phases[0]
+    assert stats.max_ns > 3 * stats.min_ns
+    assert stats.imbalance > 1.5
+    assert report.overall_imbalance > 1.5
+
+
+def test_critical_path_is_slowest_thread(profiler):
+    step = StepWork([[Phase("a", flops=1e6)], [Phase("a", flops=5e6)]],
+                    barriers=0)
+    report = profiler.profile(step, TeamSpec(CFG, 2))
+    assert report.critical_path_ns == max(report.thread_totals_ns)
+    assert report.step_ns == pytest.approx(report.critical_path_ns)
+
+
+def test_step_time_includes_barriers(profiler):
+    step = StepWork([[Phase("a", flops=1e6)]] * 2, barriers=2)
+    report = profiler.profile(step, TeamSpec(CFG, 2))
+    assert report.barrier_ns > 0
+    assert report.step_ns == pytest.approx(
+        report.critical_path_ns + report.barrier_ns)
+
+
+def test_hotspots_ranked_by_mean_time(profiler):
+    step = StepWork([[Phase("cheap", flops=1e4),
+                      Phase("costly", flops=1e7),
+                      Phase("middle", flops=1e5)]])
+    report = profiler.profile(step, TeamSpec(CFG, 1))
+    names = [p.name for p in report.hotspots(2)]
+    assert names == ["costly", "middle"]
+
+
+def test_render_on_real_application_workload(profiler):
+    workload = FEMWorkload(small1_problem(), CFG)
+    team = TeamSpec(CFG, 8, Placement.HIGH_LOCALITY)
+    report = profiler.profile(workload.step(team), team)
+    text = report.render()
+    assert "CXpa profile" in text
+    assert "element/gather" in text
+    assert "imbalance" in text

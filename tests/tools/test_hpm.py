@@ -1,0 +1,55 @@
+"""Tests for the hpm-style counter reports."""
+
+from repro.core import spp1000
+from repro.machine import Machine, MemClass
+from repro.tools import hpm
+
+
+def run_traffic(machine):
+    region = machine.alloc(8 * 4096, MemClass.FAR_SHARED)
+
+    def prog():
+        for i in range(50):
+            yield machine.load(0, region.addr((i * 64) % region.size))
+        yield machine.store(0, region.addr(0), 1)
+        yield machine.load(8, region.addr(0))
+
+    machine.sim.run(until=machine.sim.process(prog()))
+
+
+def test_collect_counts_activity():
+    machine = Machine(spp1000(2))
+    before = hpm.collect(machine)
+    assert before.total("cache_misses") == 0
+    run_traffic(machine)
+    after = hpm.collect(machine)
+    assert after.total("cache_misses") > 0
+    assert after.total("tlb_misses") > 0
+    assert after.bank_accesses > 0
+    assert sum(after.ring_transfers) > 0        # the remote load
+    assert 0.0 < after.cache_miss_rate <= 1.0
+
+
+def test_diff_isolates_a_region():
+    machine = Machine(spp1000(2))
+    run_traffic(machine)
+    mid = hpm.collect(machine)
+    region = machine.alloc(4096, MemClass.NEAR_SHARED, home_hypernode=0)
+
+    def prog():
+        yield machine.load(1, region.addr(0))
+
+    machine.sim.run(until=machine.sim.process(prog()))
+    delta = hpm.diff(mid, hpm.collect(machine))
+    assert delta.per_cpu[1]["cache_misses"] == 1
+    assert delta.per_cpu[0]["cache_misses"] == 0
+    assert delta.time_ns > 0
+
+
+def test_render_mentions_key_counters():
+    machine = Machine(spp1000(2))
+    run_traffic(machine)
+    text = hpm.render(hpm.collect(machine), per_cpu=True)
+    assert "cache_misses" in text
+    assert "per-CPU counters" in text
+    assert "ring transfers" in text

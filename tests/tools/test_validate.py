@@ -1,0 +1,32 @@
+"""Tests for the model-vs-simulation validation tool."""
+
+import pytest
+
+from repro.tools import render_validation, validate_primitives
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return validate_primitives()
+
+
+def test_covers_all_three_primitives(rows):
+    primitives = {r.primitive for r in rows}
+    assert primitives == {"barrier (LILO)", "fork-join", "pvm round trip"}
+
+
+def test_every_row_is_consistent(rows):
+    bad = [r for r in rows if not r.consistent]
+    assert not bad, f"inconsistent: {bad}"
+
+
+def test_ratios_near_unity_on_average(rows):
+    mean_ratio = sum(r.ratio for r in rows) / len(rows)
+    assert 0.6 <= mean_ratio <= 1.6
+
+
+def test_render(rows):
+    text = render_validation(rows)
+    assert "ratio" in text
+    assert "fork-join" in text
+    assert "NO" not in text
