@@ -11,12 +11,22 @@ example reproduces that workflow on the simulated machine.
     python examples/profiling_tools.py
 """
 
+import json
+
 from repro.apps.fem import FEMWorkload, small1_problem
 from repro.core import spp1000
 from repro.machine import Machine
+from repro.obs import (
+    PhaseAttributor,
+    build_manifest,
+    render_timeline,
+    timeline_from_tracer,
+    use_tracer,
+)
 from repro.perfmodel import TeamSpec
 from repro.pvm import PvmSystem
-from repro.runtime import Placement, Runtime
+from repro.runtime import Barrier, Placement, Runtime
+from repro.sim import Tracer
 from repro.tools import CxpaProfiler, hpm, render_validation, validate_primitives
 
 
@@ -58,7 +68,57 @@ def validation_demo() -> None:
     print(render_validation(validate_primitives()))
 
 
+def span_demo() -> None:
+    """The repro.obs workflow end-to-end: ambient tracer, span API,
+    per-phase counter attribution, metrics manifest, ASCII timeline."""
+    print("=== repro.obs: spans, phase attribution, metrics manifest ===")
+    config = spp1000(2)
+    tracer = Tracer(enabled=True)
+    with use_tracer(tracer):
+        # Any Machine built inside this block picks up the ambient
+        # tracer -- the same plumbing `python -m repro <exp> --trace`
+        # uses.  The runtime then emits fork/join and barrier events.
+        machine = Machine(config)
+        runtime = Runtime(machine)
+        attributor = PhaseAttributor(machine)
+        barrier = Barrier(runtime, n_threads=4)
+
+        def child(env, tid):
+            for _ in range(2):
+                yield env.compute(200 * (tid + 1))  # deliberate skew
+                yield from barrier.wait(env)
+            return tid
+
+        def main(env):
+            results = yield from env.fork_join(4, child, Placement.UNIFORM)
+            return results
+
+        with attributor.phase("barrier rounds"):
+            runtime.run(main)
+
+        # Explicit spans bracket ad-hoc work; begin() snapshots the
+        # protocol counters and end() attributes the deltas.
+        def epilogue():
+            yield machine.load(0, machine.alloc(64).addr(0))
+
+        with tracer.span(lambda: machine.sim.now, "epilogue", "demo"):
+            machine.sim.run(until=machine.sim.process(epilogue()))
+
+    print(attributor.render())
+    print(render_timeline(timeline_from_tracer(tracer), width=64))
+    manifest = build_manifest(tracer=tracer, config=config,
+                              phases=attributor.manifest())
+    fork_join = manifest["phases"]["fork_join"]
+    print("manifest phases:", ", ".join(sorted(manifest["phases"])))
+    print("fork_join imbalance: "
+          f"{fork_join['imbalance']:.2f} over {fork_join['tracks']} tracks")
+    print("instrumentation:",
+          json.dumps(manifest["instrumentation"], indent=2))
+    print()
+
+
 if __name__ == "__main__":
     hpm_demo()
     cxpa_demo()
     validation_demo()
+    span_demo()

@@ -2,14 +2,20 @@
 
 Examples::
 
-    python -m repro list            # show available experiments
-    python -m repro fig4            # regenerate Figure 4
-    python -m repro all             # regenerate everything (slow)
+    python -m repro list                      # show available experiments
+    python -m repro fig4                      # regenerate Figure 4
+    python -m repro all                       # regenerate everything (slow)
+    python -m repro fig3 --trace t.json       # capture a Perfetto trace
+    python -m repro fig3 --metrics m.json     # write a metrics manifest
+    python -m repro fig6 --profile            # print counter/span profile
+    python -m repro timeline                  # ASCII Gantt of a demo run
+    python -m repro timeline --trace t.json   # ... of a captured trace
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -25,7 +31,8 @@ def build_parser() -> argparse.ArgumentParser:
                      "simulated machine."))
     parser.add_argument(
         "experiment",
-        help="experiment id (fig2, fig3, ...), 'list', or 'all'")
+        help="experiment id (fig2, fig3, ...), 'list', 'all', or "
+             "'timeline' (ASCII Gantt view of a trace)")
     parser.add_argument(
         "--hypernodes", type=int, default=2,
         help="hypernodes in the simulated machine (default: 2, as measured "
@@ -33,29 +40,159 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick", action="store_true",
         help="reduced repetitions / problem sizes for a fast run")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="seed python/numpy RNGs for reproducible workload generation")
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON of the run to PATH (open in "
+             "Perfetto or chrome://tracing); with the 'timeline' command, "
+             "the trace file to render instead")
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write a metrics.json manifest (headline data, per-phase "
+             "counter deltas, imbalance, instrumentation overhead) to PATH")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print an hpm/CXpa-style profile (counters + span summary) "
+             "after each experiment")
     return parser
+
+
+def _seed_rngs(seed: int) -> None:
+    import random
+
+    random.seed(seed)
+    try:
+        import numpy
+
+        numpy.random.seed(seed)
+    except ImportError:  # pragma: no cover - numpy is a core dependency
+        pass
+
+
+def _unknown_experiment(exp_id: str) -> int:
+    print(f"unknown experiment {exp_id!r}", file=sys.stderr)
+    print("valid experiments:", file=sys.stderr)
+    for known_id, title in list_experiments().items():
+        print(f"  {known_id:10s} {title}", file=sys.stderr)
+    print("  timeline   ASCII Gantt view of a trace", file=sys.stderr)
+    return 2
+
+
+def _suffixed(path: str, exp_id: str, multi: bool) -> str:
+    """Per-experiment output path when running more than one target."""
+    if not multi:
+        return path
+    stem, dot, ext = path.rpartition(".")
+    return f"{stem}.{exp_id}.{ext}" if dot else f"{path}.{exp_id}"
+
+
+def _render_profile(tracer) -> str:
+    from .core.tables import Table
+    from .obs.metrics import span_summary
+
+    counters = Table("protocol counters", ["counter", "count"])
+    for name in sorted(tracer.counters):
+        counters.add_row(name, tracer.counters[name])
+    parts = [counters.render()]
+    summary = span_summary(tracer)
+    if summary:
+        spans = Table("span summary",
+                      ["span", "count", "total us", "mean us", "imbalance"])
+        for name, s in sorted(summary.items(),
+                              key=lambda kv: -kv[1]["total_ns"]):
+            spans.add_row(name, s["count"], f"{s['total_ns'] / 1e3:.1f}",
+                          f"{s['mean_ns'] / 1e3:.2f}",
+                          f"{s['imbalance']:.2f}")
+        parts.append(spans.render())
+    return "\n\n".join(parts)
+
+
+def _timeline(args) -> int:
+    from .obs.timeline import render_timeline
+
+    if args.trace:
+        from .obs.export import load_trace
+
+        try:
+            events = load_trace(args.trace)
+        except OSError as exc:
+            print(f"cannot read trace file: {exc}", file=sys.stderr)
+            return 2
+        print(render_timeline(events, title=args.trace))
+        return 0
+    # No trace file: capture a small barrier demo live and render it.
+    from .obs import timeline_from_tracer, use_tracer
+    from .sim import Tracer
+
+    tracer = Tracer(enabled=True)
+    with use_tracer(tracer):
+        from .experiments.fig3_barrier import barrier_metrics_us
+        from .runtime import Placement
+
+        barrier_metrics_us(min(8, spp1000(args.hypernodes).n_cpus),
+                           Placement.UNIFORM,
+                           spp1000(args.hypernodes), rounds=2)
+    print(render_timeline(timeline_from_tracer(tracer),
+                          title="fig3 barrier demo"))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.seed is not None:
+        _seed_rngs(args.seed)
     if args.experiment == "list":
         for exp_id, title in list_experiments().items():
             print(f"{exp_id:10s} {title}")
         return 0
+    if args.experiment == "timeline":
+        return _timeline(args)
 
     config = spp1000(n_hypernodes=args.hypernodes)
     targets = (list(list_experiments()) if args.experiment == "all"
                else [args.experiment])
+    if args.experiment != "all" and args.experiment not in list_experiments():
+        return _unknown_experiment(args.experiment)
+    multi = len(targets) > 1
+    observing = bool(args.trace or args.metrics or args.profile)
+    # Fail fast on unwritable output paths -- before, not after, the run.
+    for path in (args.trace, args.metrics):
+        if path:
+            parent = os.path.dirname(os.path.abspath(path))
+            if not os.path.isdir(parent):
+                print(f"output directory does not exist: {parent}",
+                      file=sys.stderr)
+                return 2
     for exp_id in targets:
         kwargs = {"config": config}
         if args.quick:
             kwargs["quick"] = True
-        try:
+        if observing:
+            from .obs import (build_manifest, use_tracer,
+                              write_chrome_trace, write_metrics)
+            from .sim import Tracer
+
+            tracer = Tracer(enabled=True)
+            with use_tracer(tracer):
+                result = _run(exp_id, **kwargs)
+            print(result.render())
+            if args.profile:
+                print()
+                print(_render_profile(tracer))
+            if args.trace:
+                path = _suffixed(args.trace, exp_id, multi)
+                write_chrome_trace(tracer, path, config)
+                print(f"\ntrace written to {path}")
+            if args.metrics:
+                path = _suffixed(args.metrics, exp_id, multi)
+                write_metrics(
+                    result.manifest(config=config, tracer=tracer), path)
+                print(f"metrics manifest written to {path}")
+        else:
             result = _run(exp_id, **kwargs)
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        print(result.render())
+            print(result.render())
         print()
     return 0
 

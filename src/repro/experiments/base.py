@@ -40,6 +40,20 @@ class ExperimentResult:
             parts.append(self.notes)
         return "\n\n".join(parts)
 
+    def manifest(self, *, config=None, tracer=None, phases=None,
+                 extra=None) -> Dict:
+        """The run's ``metrics.json`` manifest (see :mod:`repro.obs`).
+
+        Every experiment gets this for free: headline data from
+        :attr:`data`, plus — when a tracer observed the run — per-phase
+        span times, counter deltas, imbalance factors, and the §4
+        instrumentation-overhead accounting.
+        """
+        from ..obs.metrics import build_manifest
+
+        return build_manifest(self, config=config, tracer=tracer,
+                              phases=phases, extra=extra)
+
 
 _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
 _TITLES: Dict[str, str] = {}

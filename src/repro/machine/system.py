@@ -35,7 +35,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..core.config import MachineConfig, spp1000
-from ..sim import Event, Simulator, Tracer
+from ..sim import Event, Simulator, Tracer, active_tracer
 from .address import AddressSpace, HomeLocation, MemClass, Region
 from .cache import DirectMappedCache
 from .directory import HypernodeDirectory
@@ -59,7 +59,12 @@ class Machine:
         self.config = config or spp1000()
         self.config.validate()
         self.sim = sim or Simulator()
-        self.tracer = tracer or Tracer()
+        # No explicit tracer: adopt the ambient one (``use_tracer``) so a
+        # CLI-level ``--trace`` reaches machines built deep inside
+        # experiment code; otherwise a quiet default.
+        self.tracer = tracer or active_tracer() or Tracer()
+        if self.tracer.enabled:
+            self.sim.tracer = self.tracer
         self.topology = Topology(self.config)
         self.space = AddressSpace(self.config)
         self.caches: List[DirectMappedCache] = [
@@ -120,6 +125,9 @@ class Machine:
         def _go():
             yield self.sim.timeout(
                 self.config.cycles(self.config.timer_overhead_cycles))
+            # Counted so reports can correct for timer intrusion (§4):
+            # total overhead = count("timer.read") * timer_overhead_ns.
+            self.tracer.emit(self.sim.now, "timer.read", cpu)
             return self.sim.now
         return self.sim.process(_go())
 

@@ -1,0 +1,47 @@
+"""Unified observability layer (the paper's §6 instrumentation story).
+
+The paper credits the CXpa profiler and the hpm hardware counters for
+every optimisation win it reports; this package is the analogous
+first-class measurement subsystem for the simulated machine:
+
+* :mod:`repro.sim.trace` — the structured, span-capable event bus
+  (``Tracer``); every layer (machine, runtime, PVM, perfmodel) emits
+  into it with thread/CPU/hypernode attribution;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (open in Perfetto
+  or ``chrome://tracing``; one track per simulated CPU) and JSONL
+  event streams;
+* :mod:`repro.obs.metrics` — per-run ``metrics.json`` manifests:
+  headline experiment data, per-phase span times, counter deltas,
+  imbalance factors, instrumentation-overhead accounting;
+* :mod:`repro.obs.phases` — automatic per-phase hpm counter
+  attribution (:class:`PhaseAttributor` drives ``tools.hpm.diff`` at
+  phase boundaries);
+* :mod:`repro.obs.timeline` — ASCII Gantt rendering of traces
+  (``python -m repro timeline``).
+
+Zero-cost contract: tracing never advances simulated time, and a fully
+disabled tracer (``Tracer(counting=False)``) costs one no-op call per
+emission point in host time.  See :mod:`repro.sim.trace` for the
+overhead-correction story mirroring the paper's §4 methodology.
+"""
+
+from ..sim.trace import TraceEvent, Tracer, active_tracer, use_tracer
+from .export import (
+    chrome_trace,
+    jsonl_lines,
+    load_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import build_manifest, span_summary, write_metrics
+from .phases import PhaseAttributor, PhaseCounters
+from .timeline import render_timeline, timeline_from_tracer
+
+__all__ = [
+    "Tracer", "TraceEvent", "active_tracer", "use_tracer",
+    "chrome_trace", "write_chrome_trace", "jsonl_lines", "write_jsonl",
+    "load_trace",
+    "build_manifest", "span_summary", "write_metrics",
+    "PhaseAttributor", "PhaseCounters",
+    "render_timeline", "timeline_from_tracer",
+]

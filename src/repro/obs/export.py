@@ -1,0 +1,138 @@
+"""Trace exporters: Chrome trace-event JSON and JSONL streams.
+
+The Chrome format is the `trace-event`_ JSON that Perfetto and
+``chrome://tracing`` load directly: a ``traceEvents`` array whose
+records carry ``ph`` (phase letter), ``ts`` (microseconds), ``pid``,
+``tid``, ``name``, ``cat``, ``args``.  We map simulated hypernodes to
+processes and simulated CPUs to threads, so a loaded trace shows one
+track per CPU grouped by hypernode — the same mental picture as the
+paper's per-processor CXpa views.
+
+.. _trace-event: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..core.config import MachineConfig
+from ..sim.trace import TraceEvent, Tracer
+
+__all__ = ["chrome_trace", "write_chrome_trace", "jsonl_lines",
+           "write_jsonl", "load_trace"]
+
+_NS_PER_US = 1000.0
+
+
+def _event_dict(ev: TraceEvent) -> Dict:
+    d: Dict = {"name": ev.name, "cat": ev.cat, "ph": ev.ph,
+               "ts": ev.ts / _NS_PER_US, "pid": ev.pid, "tid": ev.tid}
+    if ev.ph == "X":
+        d["dur"] = ev.dur / _NS_PER_US
+    if ev.ph == "i":
+        d["s"] = "t"  # instant scoped to its thread track
+    if ev.args:
+        d["args"] = ev.args
+    return d
+
+
+def _metadata(name: str, pid: int, tid: int = 0,
+              label: str = "") -> Dict:
+    return {"name": name, "ph": "M", "ts": 0.0, "pid": pid, "tid": tid,
+            "args": {"name": label}}
+
+
+def chrome_trace(tracer: Tracer,
+                 config: Optional[MachineConfig] = None) -> Dict:
+    """The full Chrome trace-event document for one tracer's events.
+
+    With a ``config``, every simulated CPU gets a named thread track
+    (even idle ones) so the Perfetto view always shows the machine's
+    full width; without one, tracks are created only for CPUs that
+    emitted events.
+    """
+    events: List[Dict] = []
+    pids = {ev.pid for ev in tracer.events}
+    tids = {(ev.pid, ev.tid) for ev in tracer.events}
+    if config is not None:
+        per_hn = config.fus_per_hypernode * config.cpus_per_fu
+        for hn in range(config.n_hypernodes):
+            pids.add(hn)
+            for cpu in range(hn * per_hn, (hn + 1) * per_hn):
+                tids.add((hn, cpu))
+    for pid in sorted(pids):
+        events.append(_metadata("process_name", pid,
+                                label=f"hypernode {pid}"))
+    for pid, tid in sorted(tids):
+        events.append(_metadata("thread_name", pid, tid,
+                                label=f"cpu {tid}"))
+    events.extend(_event_dict(ev) for ev in tracer.events)
+    # Legacy TraceRecords (coherence/protocol occurrences) ride along as
+    # thread-scoped instants on a dedicated "machine events" process.
+    if tracer.records:
+        mpid = (config.n_hypernodes if config is not None
+                else max(pids, default=-1) + 1)
+        events.append(_metadata("process_name", mpid,
+                                label="machine events"))
+        for rec in tracer.records:
+            events.append({"name": rec.category, "cat": "machine",
+                           "ph": "i", "s": "t",
+                           "ts": rec.time / _NS_PER_US,
+                           "pid": mpid, "tid": 0,
+                           "args": {"payload": list(rec.payload)}})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "source": "repro.obs (simulated Convex SPP-1000)",
+            "counters": tracer.counters,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str,
+                       config: Optional[MachineConfig] = None) -> None:
+    """Write the Chrome trace JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(tracer, config), fh, indent=None,
+                  default=_fallback)
+
+
+def jsonl_lines(tracer: Tracer) -> Iterator[str]:
+    """One compact JSON object per structured event, in emission order."""
+    for ev in tracer.events:
+        yield json.dumps(_event_dict(ev), default=_fallback)
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    """Write the JSONL event stream to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in jsonl_lines(tracer):
+            fh.write(line + "\n")
+
+
+def load_trace(path: str) -> List[Dict]:
+    """Load event dicts from a Chrome trace JSON *or* a JSONL file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        # JSONL: one event object per line
+        return [json.loads(line) for line in text.splitlines()
+                if line.strip()]
+    if isinstance(doc, list):  # bare traceEvents array
+        return doc
+    if "traceEvents" not in doc and "ph" in doc:  # single-line JSONL
+        return [doc]
+    return list(doc.get("traceEvents", []))
+
+
+def _fallback(obj):
+    """JSON serializer of last resort (numpy scalars, sets, enums)."""
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    return str(obj)

@@ -28,6 +28,7 @@ from typing import Sequence
 
 from ..core.config import MachineConfig
 from ..core.metrics import mflops as _mflops
+from ..sim.trace import active_tracer
 from .comm import barrier_ns, pvm_oneway_ns, remote_miss_cycles
 from .phase import Access, Phase, StepWork, TeamSpec
 
@@ -55,6 +56,9 @@ class PerformanceModel:
     def __init__(self, config: MachineConfig):
         config.validate()
         self.config = config
+        #: analytic timeline cursor for trace emission: successive steps
+        #: modelled by this instance lay out end-to-end on the trace
+        self._trace_clock = 0.0
 
     # -- cache behaviour ---------------------------------------------------
     def spill_fraction(self, working_set_bytes: float,
@@ -77,6 +81,17 @@ class PerformanceModel:
 
     # -- per-phase time ------------------------------------------------------
     def phase_time_ns(self, phase: Phase, team: TeamSpec, tid: int) -> float:
+        b = self.phase_breakdown(phase, team, tid)
+        return b["pipe_ns"] + b["stall_ns"] + b["msg_ns"]
+
+    def phase_breakdown(self, phase: Phase, team: TeamSpec,
+                        tid: int) -> dict:
+        """Where a phase's modelled time goes: pipeline, stalls, messages.
+
+        Returns ``{"pipe_ns", "stall_ns", "msg_ns"}`` — the stall
+        breakdown the CXpa/hpm workflow of §6 exposes, attached verbatim
+        to the trace events the model emits.
+        """
         cfg = self.config
         words = phase.traffic_bytes / _WORD
         pipe_cycles = max(phase.flops * cfg.flop_cycles,
@@ -114,12 +129,14 @@ class PerformanceModel:
             local_share * local_cost * bank_factor
             + remote_share * remote_cost * ring_factor * bank_factor)
 
-        time_ns = cfg.cycles(pipe_cycles + stall_cycles)
-        for msg in phase.messages:
+        msg_ns = sum(
             # a one-way transfer's cost spans sender and receiver; charge
             # half to each side so a send+recv pair sums to one transfer
-            time_ns += 0.5 * pvm_oneway_ns(cfg, msg.nbytes, msg.remote)
-        return time_ns
+            0.5 * pvm_oneway_ns(cfg, msg.nbytes, msg.remote)
+            for msg in phase.messages)
+        return {"pipe_ns": cfg.cycles(pipe_cycles),
+                "stall_ns": cfg.cycles(stall_cycles),
+                "msg_ns": msg_ns}
 
     # -- per-step and full-run time --------------------------------------------
     def step_time_ns(self, step: StepWork, team: TeamSpec) -> float:
@@ -133,12 +150,41 @@ class PerformanceModel:
             for tid, phases in enumerate(step.thread_phases)
         ]
         critical = max(per_thread) if per_thread else 0.0
-        critical += step.barriers * barrier_ns(
+        bar_ns = step.barriers * barrier_ns(
             cfg, team.n_threads, team.n_hypernodes_used)
+        critical += bar_ns
         if team.n_threads >= cfg.n_cpus:
             # machine full: application threads timeshare with the OS
             critical *= 1.0 + cfg.os_daemon_load
+        tracer = active_tracer()
+        if tracer is not None and tracer.enabled:
+            self._emit_step_trace(tracer, step, team, per_thread, bar_ns,
+                                  critical)
         return critical
+
+    def _emit_step_trace(self, tracer, step: StepWork, team: TeamSpec,
+                         per_thread, bar_ns: float, critical: float) -> None:
+        """Emit one modelled step as complete ('X') events, one track per
+        CPU, with the pipe/stall/message breakdown in each event's args."""
+        t0 = self._trace_clock
+        cpus = team.cpus
+        for tid, phases in enumerate(step.thread_phases):
+            cursor = t0
+            pid = team.hypernode_of_thread(tid)
+            for phase in phases:
+                parts = self.phase_breakdown(phase, team, tid)
+                dur = parts["pipe_ns"] + parts["stall_ns"] + parts["msg_ns"]
+                tracer.complete(cursor, dur, phase.name, "perfmodel",
+                                pid=pid, tid=cpus[tid], args=parts)
+                cursor += dur
+        crit_tid = per_thread.index(max(per_thread)) if per_thread else 0
+        tracer.complete(t0, critical, "step", "perfmodel",
+                        pid=team.hypernode_of_thread(crit_tid),
+                        tid=cpus[crit_tid],
+                        args={"barrier_ns": bar_ns,
+                              "n_threads": team.n_threads,
+                              "critical_path_ns": critical})
+        self._trace_clock = t0 + critical
 
     def run(self, steps: Sequence[StepWork], team: TeamSpec,
             repeat: int = 1) -> RunResult:

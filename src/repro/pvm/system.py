@@ -85,6 +85,12 @@ class PvmTask:
         """Generator: pack ``payload`` into a shared buffer and post it."""
         system, env, cfg = self.system, self.env, self.system.config
         dest = system.task(dest_tid)
+        tracer = system.machine.tracer
+        if tracer.enabled:
+            tracer.begin(env.now, "pvm.send", "pvm",
+                         pid=env.hypernode, tid=env.cpu,
+                         args={"dest": dest_tid, "tag": tag,
+                               "nbytes": nbytes})
         yield env.compute(cfg.pvm_send_overhead_cycles)
         lease = system.buffers.acquire(self.tid, env.hypernode, nbytes)
         if lease.fresh_pages:
@@ -92,18 +98,38 @@ class PvmTask:
             per_page = (cfg.page_touch_remote_cycles if remote_dest
                         else cfg.page_touch_local_cycles)
             yield env.compute(per_page * lease.fresh_pages)
+        if tracer.enabled:
+            tracer.begin(env.now, "pvm.pack", "pvm",
+                         pid=env.hypernode, tid=env.cpu)
         yield env.write_block(lease.addr, nbytes)      # pack
+        if tracer.enabled:
+            tracer.end(env.now, "pvm.pack", "pvm",
+                       pid=env.hypernode, tid=env.cpu)
         yield env.fetch_add(dest._mail_lock, 1)        # mailbox insert lock
         dest._mail_seq += 1
         msg = Message(self.tid, dest_tid, tag, nbytes, payload,
                       lease.addr, dest._mail_seq)
         dest.mailbox.append(msg)
+        if tracer.enabled:
+            # The shared-buffer hand-off: the message changes hands here.
+            tracer.instant(env.now, "pvm.post", "pvm",
+                           pid=dest.env.hypernode, tid=dest.env.cpu,
+                           args={"source": self.tid, "dest": dest_tid,
+                                 "tag": tag, "nbytes": nbytes})
         yield env.store(dest._mail_flag, dest._mail_seq)   # notify
         self.sent_messages += 1
+        if tracer.enabled:
+            tracer.end(env.now, "pvm.send", "pvm",
+                       pid=env.hypernode, tid=env.cpu)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Generator: block until a matching message arrives; returns payload."""
         system, env, cfg = self.system, self.env, self.system.config
+        tracer = system.machine.tracer
+        if tracer.enabled:
+            tracer.begin(env.now, "pvm.recv", "pvm",
+                         pid=env.hypernode, tid=env.cpu,
+                         args={"source": source, "tag": tag})
         yield env.compute(cfg.pvm_recv_overhead_cycles)
         msg = self._take(source, tag)
         if msg is None:
@@ -113,6 +139,10 @@ class PvmTask:
             assert msg is not None
         yield env.read_block(msg.buffer_addr, msg.nbytes)  # access/unpack
         self.received_messages += 1
+        if tracer.enabled:
+            tracer.end(env.now, "pvm.recv", "pvm",
+                       pid=env.hypernode, tid=env.cpu,
+                       args={"source": msg.source, "nbytes": msg.nbytes})
         return msg.payload
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:

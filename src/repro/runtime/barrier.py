@@ -45,15 +45,25 @@ class Barrier:
     def wait(self, env: ThreadEnv):
         """Generator: block until all ``n_threads`` threads have arrived."""
         cfg = self._cfg
+        tracer = self.runtime.machine.tracer
         yield env.compute(cfg.barrier_entry_cycles)
         generation = self._generation
         arrived = yield env.fetch_add(self._count_addr, 1)
+        if tracer.enabled:
+            tracer.instant(env.now, "barrier.arrive", "runtime",
+                           pid=env.hypernode, tid=env.cpu,
+                           args={"generation": generation,
+                                 "arrived": arrived + 1})
         if arrived == self.n_threads - 1:
             # Last in: reset the semaphore and release the spinners.
             yield env.fetch_add(self._count_addr, -self.n_threads)
             self._generation = generation + 1
             self._releaser_hn = env.hypernode
             yield env.store(self._flag_addr, self._generation)
+            if tracer.enabled:
+                tracer.instant(env.now, "barrier.open", "runtime",
+                               pid=env.hypernode, tid=env.cpu,
+                               args={"generation": self._generation})
             return
         if self.n_threads == 1:
             return
@@ -68,3 +78,7 @@ class Barrier:
             yield env.compute(cycles)
         finally:
             self._dispatch.release()
+        if tracer.enabled:
+            tracer.instant(env.now, "barrier.release", "runtime",
+                           pid=env.hypernode, tid=env.cpu,
+                           args={"generation": target})

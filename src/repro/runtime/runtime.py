@@ -172,8 +172,15 @@ class Runtime:
                    placement: Placement):
         cfg = self.config
         machine = self.machine
+        tracer = machine.tracer
         cpus = assign(cfg, n_threads, placement)
         target_hns = hypernodes_used(cfg, cpus)
+        if tracer.enabled:
+            tracer.begin(self.sim.now, "fork_join", "runtime",
+                         pid=parent.hypernode, tid=parent.cpu,
+                         args={"n_threads": n_threads,
+                               "placement": placement.name,
+                               "hypernodes": len(target_hns)})
 
         # One-time kernel-to-kernel setup for newly touched hypernodes
         # (the ~50 us step in Figure 2 when a second hypernode joins).
@@ -197,12 +204,19 @@ class Runtime:
             yield parent.store(desc, tid_in_team)
             child_env = ThreadEnv(self, self._next_tid, cpu)
             self._next_tid += 1
+            if tracer.enabled:
+                tracer.instant(self.sim.now, "thread.spawn", "runtime",
+                               pid=child_hn, tid=cpu,
+                               args={"team_tid": tid_in_team})
             self.sim.process(self._child(
                 child_env, body, tid_in_team, desc, join_count, done_flag,
                 n_threads, results))
 
         yield parent.spin(done_flag, lambda v: v == 1)
         yield parent.compute(cfg.join_per_thread_cycles * n_threads)
+        if tracer.enabled:
+            tracer.end(self.sim.now, "fork_join", "runtime",
+                       pid=parent.hypernode, tid=parent.cpu)
         return results
 
     # -- asynchronous threads ------------------------------------------------
@@ -228,6 +242,10 @@ class Runtime:
         child_env = ThreadEnv(self, self._next_tid, cpu)
         self._next_tid += 1
         handle = AsyncThread(self, child_env.tid, cpu, done_flag)
+        tracer = machine.tracer
+        if tracer.enabled:
+            tracer.instant(self.sim.now, "thread.spawn_async", "runtime",
+                           pid=child_hn, tid=cpu, args={"tid": handle.tid})
 
         def child():
             yield child_env.load(desc)
@@ -241,10 +259,18 @@ class Runtime:
     def _child(self, env: ThreadEnv, body, tid_in_team: int, desc: int,
                join_count: int, done_flag: int, n_threads: int,
                results: List):
+        tracer = self.machine.tracer
         # pick up the work descriptor
         yield env.load(desc)
+        if tracer.enabled:
+            tracer.begin(self.sim.now, "thread", "runtime",
+                         pid=env.hypernode, tid=env.cpu,
+                         args={"team_tid": tid_in_team})
         result = yield from body(env, tid_in_team)
         results[tid_in_team] = result
+        if tracer.enabled:
+            tracer.end(self.sim.now, "thread", "runtime",
+                       pid=env.hypernode, tid=env.cpu)
         old = yield env.fetch_add(join_count, 1)
         if old == n_threads - 1:
             # last child releases the joining parent through the cache

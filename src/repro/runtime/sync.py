@@ -56,12 +56,22 @@ class CriticalSection:
         serving = yield env.load(self.serving_addr)
         if serving != ticket:
             yield env.spin(self.serving_addr, lambda v: v == ticket)
+        tracer = self.runtime.machine.tracer
+        if tracer.enabled:
+            tracer.instant(env.now, "lock.acquire", "runtime",
+                           pid=env.hypernode, tid=env.cpu,
+                           args={"ticket": ticket})
         return ticket
 
     def release(self, env: ThreadEnv):
         """Generator: hand the lock to the next ticket holder."""
         serving = yield env.load(self.serving_addr)
         yield env.store(self.serving_addr, serving + 1)
+        tracer = self.runtime.machine.tracer
+        if tracer.enabled:
+            tracer.instant(env.now, "lock.release", "runtime",
+                           pid=env.hypernode, tid=env.cpu,
+                           args={"ticket": serving})
 
     def critical(self, env: ThreadEnv, body_cycles: float):
         """Generator: acquire, compute ``body_cycles``, release."""

@@ -19,10 +19,11 @@ from .errors import (
 )
 from .process import Process
 from .resources import PriorityStore, Resource, Store
-from .trace import TraceRecord, Tracer
+from .trace import TraceEvent, TraceRecord, Tracer, active_tracer, use_tracer
 
 __all__ = [
     "Simulator", "Event", "Timeout", "Condition", "Process",
     "Resource", "Store", "PriorityStore", "Tracer", "TraceRecord",
+    "TraceEvent", "active_tracer", "use_tracer",
     "SimulationError", "Interrupt", "DeadlockError", "EventAlreadyTriggered",
 ]

@@ -173,6 +173,11 @@ class Simulator:
         self._queue: list = []
         self._seq = itertools.count()
         self._active_process = None
+        #: optional :class:`~repro.sim.trace.Tracer` counting event
+        #: dispatches under ``"sim.dispatch"``.  Left ``None`` by default
+        #: so the hot loop pays nothing; the machine model attaches its
+        #: tracer here when tracing is enabled.
+        self.tracer = None
 
     # -- clock ----------------------------------------------------------
     @property
@@ -228,6 +233,8 @@ class Simulator:
         if time < self._now - 1e-12:
             raise SimulationError("event scheduled in the past")
         self._now = time
+        if self.tracer is not None:
+            self.tracer.emit(time, "sim.dispatch")
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

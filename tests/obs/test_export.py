@@ -1,0 +1,93 @@
+"""Tests for the Chrome trace / JSONL exporters."""
+
+import json
+
+from repro.core import spp1000
+from repro.obs import (
+    chrome_trace,
+    jsonl_lines,
+    load_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim import Tracer
+
+CFG = spp1000(2)
+
+
+def traced_activity() -> Tracer:
+    t = Tracer(enabled=True)
+    t.begin(100.0, "thread", "runtime", pid=0, tid=3)
+    t.emit(120.0, "load.miss.local", 3)
+    t.instant(150.0, "barrier.arrive", "runtime", pid=0, tid=3)
+    t.end(200.0, "thread", "runtime", pid=0, tid=3)
+    t.complete(0.0, 500.0, "push", "perfmodel", pid=1, tid=8,
+               args={"pipe_ns": 400.0, "stall_ns": 100.0})
+    t.counter(200.0, "misses", {"local": 1})
+    return t
+
+
+def test_chrome_trace_is_valid_json_with_required_fields():
+    doc = chrome_trace(traced_activity(), CFG)
+    text = json.dumps(doc)  # must serialize
+    doc2 = json.loads(text)
+    events = doc2["traceEvents"]
+    assert events, "no events exported"
+    for ev in events:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in ev, f"{key} missing from {ev}"
+    assert {e["ph"] for e in events} >= {"M", "B", "E", "i", "X", "C"}
+
+
+def test_chrome_trace_has_one_track_per_cpu():
+    doc = chrome_trace(traced_activity(), CFG)
+    thread_meta = [e for e in doc["traceEvents"]
+                   if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert len(thread_meta) == CFG.n_cpus
+    # CPUs grouped into their hypernodes
+    per_hn = CFG.n_cpus // CFG.n_hypernodes
+    for meta in thread_meta:
+        assert meta["pid"] == meta["tid"] // per_hn
+
+
+def test_chrome_trace_timestamps_are_microseconds():
+    doc = chrome_trace(traced_activity(), CFG)
+    begin = next(e for e in doc["traceEvents"] if e["ph"] == "B")
+    assert begin["ts"] == 0.1  # 100 ns
+    complete = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+    assert complete["dur"] == 0.5  # 500 ns
+
+
+def test_legacy_records_ride_along_as_machine_instants():
+    doc = chrome_trace(traced_activity(), CFG)
+    machine_pid = CFG.n_hypernodes
+    recs = [e for e in doc["traceEvents"]
+            if e["pid"] == machine_pid and e["ph"] == "i"]
+    assert any(e["name"] == "load.miss.local" for e in recs)
+
+
+def test_jsonl_every_line_parses(tmp_path):
+    tracer = traced_activity()
+    lines = list(jsonl_lines(tracer))
+    assert len(lines) == len(tracer.events)
+    for line in lines:
+        ev = json.loads(line)
+        assert "ph" in ev and "ts" in ev
+    path = tmp_path / "events.jsonl"
+    write_jsonl(tracer, str(path))
+    assert len(path.read_text().splitlines()) == len(lines)
+
+
+def test_load_trace_round_trips_both_formats(tmp_path):
+    tracer = traced_activity()
+    chrome_path = tmp_path / "trace.json"
+    jsonl_path = tmp_path / "trace.jsonl"
+    write_chrome_trace(tracer, str(chrome_path), CFG)
+    write_jsonl(tracer, str(jsonl_path))
+    chrome_events = load_trace(str(chrome_path))
+    jsonl_events = load_trace(str(jsonl_path))
+    assert len(jsonl_events) == len(tracer.events)
+    # chrome doc adds metadata on top of the structured events
+    assert len(chrome_events) > len(jsonl_events)
+    names = {e["name"] for e in jsonl_events}
+    assert {"thread", "push", "barrier.arrive"} <= names

@@ -1,0 +1,52 @@
+"""Tests for the ASCII Gantt timeline renderer."""
+
+from repro.obs import render_timeline, timeline_from_tracer
+from repro.sim import Tracer
+
+
+def synthetic_events():
+    return [
+        {"ph": "M", "name": "process_name", "ts": 0, "pid": 0, "tid": 0},
+        {"ph": "B", "name": "thread", "ts": 0.0, "pid": 0, "tid": 0},
+        {"ph": "i", "name": "barrier.arrive", "ts": 5.0, "pid": 0, "tid": 0},
+        {"ph": "E", "name": "thread", "ts": 10.0, "pid": 0, "tid": 0},
+        {"ph": "X", "name": "push", "ts": 0.0, "dur": 8.0,
+         "pid": 1, "tid": 8},
+    ]
+
+
+def test_render_draws_one_row_per_track():
+    text = render_timeline(synthetic_events(), width=40)
+    assert "hn0/cpu0" in text
+    assert "hn1/cpu8" in text
+    assert text.count("|") == 2 * 2  # two tracks, two borders each
+
+
+def test_render_legend_names_spans_and_markers():
+    text = render_timeline(synthetic_events(), width=40)
+    assert "A=thread" in text
+    assert "B=push" in text
+    assert "+=barrier.arrive" in text
+
+
+def test_span_bars_cover_their_extent():
+    text = render_timeline(synthetic_events(), width=40)
+    row = next(l for l in text.splitlines() if l.startswith("hn0/cpu0"))
+    # the thread span covers the whole range (0..10 of 0..10)
+    bar = row.split("|")[1]
+    assert bar.startswith("A")
+    assert bar.rstrip().endswith("A")
+    assert "+" in bar  # the instant overdraws the span
+
+
+def test_empty_trace_is_handled():
+    assert "(no events)" in render_timeline([])
+
+
+def test_round_trip_from_live_tracer():
+    t = Tracer(enabled=True)
+    t.begin(0.0, "work", pid=0, tid=2)
+    t.end(1000.0, "work", pid=0, tid=2)
+    text = render_timeline(timeline_from_tracer(t))
+    assert "hn0/cpu2" in text
+    assert "A=work" in text

@@ -36,3 +36,74 @@ def test_hypernode_option_is_honoured(capsys):
 def test_invalid_hypernode_count_raises():
     with pytest.raises(ValueError):
         main(["table1", "--hypernodes", "99"])
+
+
+def test_unknown_experiment_lists_valid_ids(capsys):
+    assert main(["not-an-experiment"]) == 2
+    err = capsys.readouterr().err
+    assert "valid experiments" in err
+    for exp_id in ("fig2", "fig3", "table2", "timeline"):
+        assert exp_id in err
+
+
+def test_parser_has_observability_flags():
+    from repro.cli import build_parser
+
+    text = build_parser().format_help()
+    for flag in ("--seed", "--trace", "--metrics", "--profile"):
+        assert flag in text
+
+
+def test_seed_flag_is_accepted(capsys):
+    assert main(["fig2", "--seed", "7", "--quick"]) == 0
+    assert "fig2" in capsys.readouterr().out
+
+
+def test_trace_and_metrics_outputs(tmp_path, capsys):
+    """Acceptance criterion: fig3 --trace --metrics produces a valid
+    Chrome trace (one track per CPU) and a manifest with per-phase
+    counter deltas."""
+    import json
+
+    trace = tmp_path / "t.json"
+    metrics = tmp_path / "m.json"
+    assert main(["fig3", "--trace", str(trace),
+                 "--metrics", str(metrics)]) == 0
+    doc = json.loads(trace.read_text())
+    events = doc["traceEvents"]
+    assert events
+    for ev in events:
+        for key in ("ph", "ts", "pid", "tid"):
+            assert key in ev
+    cpu_tracks = [e for e in events
+                  if e["ph"] == "M" and e["name"] == "thread_name"
+                  and e["args"]["name"].startswith("cpu ")]
+    assert len(cpu_tracks) == 16  # one per simulated CPU
+    manifest = json.loads(metrics.read_text())
+    assert manifest["experiment"]["id"] == "fig3"
+    assert manifest["phases"]["fork_join"]["counters"]
+    assert manifest["instrumentation"]["tracer_simulated_cost_ns"] == 0.0
+
+
+def test_profile_flag_prints_counters(capsys):
+    assert main(["fig2", "--quick", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "protocol counters" in out
+    assert "span summary" in out
+    assert "fork_join" in out
+
+
+def test_timeline_demo_renders(capsys):
+    assert main(["timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "hn0/cpu0" in out
+    assert "barrier.arrive" in out
+
+
+def test_timeline_from_trace_file(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert main(["fig2", "--quick", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["timeline", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "spans:" in out

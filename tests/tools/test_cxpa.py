@@ -69,3 +69,32 @@ def test_render_on_real_application_workload(profiler):
     assert "CXpa profile" in text
     assert "element/gather" in text
     assert "imbalance" in text
+
+
+def test_imbalance_math_is_exact():
+    """Golden assertions on the PhaseStats statistics."""
+    from repro.tools import PhaseStats
+
+    stats = PhaseStats("work", (2000.0, 4000.0))
+    assert stats.mean_ns == 3000.0
+    assert stats.max_ns == 4000.0
+    assert stats.min_ns == 2000.0
+    assert stats.imbalance == pytest.approx(4000.0 / 3000.0)
+
+
+def test_overall_imbalance_math_is_exact(profiler):
+    step = StepWork([[Phase("w", flops=1e6)], [Phase("w", flops=3e6)]],
+                    barriers=0)
+    report = profiler.profile(step, TeamSpec(CFG, 2))
+    t0, t1 = report.thread_totals_ns
+    expected = max(t0, t1) / ((t0 + t1) / 2)
+    assert report.overall_imbalance == pytest.approx(expected)
+    # flops scale linearly in the pipe-bound regime: 3x work = 3x time
+    assert max(t0, t1) == pytest.approx(3 * min(t0, t1), rel=0.01)
+
+
+def test_hotspots_top_zero_and_overflow(profiler):
+    step = StepWork([[Phase("a", flops=1e5), Phase("b", flops=2e5)]])
+    report = profiler.profile(step, TeamSpec(CFG, 1))
+    assert report.hotspots(0) == []
+    assert [p.name for p in report.hotspots(10)] == ["b", "a"]

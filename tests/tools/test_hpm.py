@@ -53,3 +53,50 @@ def test_render_mentions_key_counters():
     assert "cache_misses" in text
     assert "per-CPU counters" in text
     assert "ring transfers" in text
+
+
+def make_snapshot(time_ns, misses_cpu0, ring0, events=None, bank=0):
+    per_cpu = []
+    for cpu in range(2):
+        per_cpu.append({
+            "cache_hits": 10 * (cpu + 1),
+            "cache_misses": misses_cpu0 if cpu == 0 else 0,
+            "cache_evictions": 0,
+            "cache_invalidations": 0,
+            "tlb_hits": 5,
+            "tlb_misses": 1,
+        })
+    return hpm.HpmSnapshot(
+        time_ns=time_ns, per_cpu=tuple(per_cpu), events=dict(events or {}),
+        ring_transfers=(ring0, 0, 0, 0), bank_accesses=bank)
+
+
+def test_diff_math_is_exact():
+    """Golden assertions on the counter-delta arithmetic."""
+    before = make_snapshot(1000.0, misses_cpu0=3, ring0=2,
+                           events={"load.miss.remote": 4}, bank=7)
+    after = make_snapshot(4000.0, misses_cpu0=10, ring0=9,
+                          events={"load.miss.remote": 6, "tlb.miss": 2},
+                          bank=11)
+    delta = hpm.diff(before, after)
+    assert delta.time_ns == 3000.0
+    assert delta.per_cpu[0]["cache_misses"] == 7
+    assert delta.per_cpu[1]["cache_misses"] == 0
+    assert delta.ring_transfers == (7, 0, 0, 0)
+    assert delta.bank_accesses == 4
+    # unchanged events are dropped; new and changed ones kept
+    assert delta.events == {"load.miss.remote": 2, "tlb.miss": 2}
+
+
+def test_total_and_miss_rate_math():
+    snap = make_snapshot(0.0, misses_cpu0=10, ring0=0)
+    assert snap.total("cache_misses") == 10
+    assert snap.total("cache_hits") == 30
+    # 10 misses out of 40 accesses
+    assert snap.cache_miss_rate == 10 / 40
+
+
+def test_render_reports_elapsed_microseconds():
+    snap = make_snapshot(2500.0, misses_cpu0=1, ring0=0)
+    text = hpm.render(snap)
+    assert "2.5" in text  # 2500 ns = 2.5 us
