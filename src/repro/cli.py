@@ -56,6 +56,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print an hpm/CXpa-style profile (counters + span summary) "
              "after each experiment")
+    parser.add_argument(
+        "--faults", metavar="PATH", default=None,
+        help="fault-plan JSON (see docs/robustness.md): inject SCI ring "
+             "failures, CPU/hypernode failures, and PVM message loss at "
+             "simulated timestamps")
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="persist each completed sweep point of a long experiment to "
+             "PATH (JSON), enabling --resume after a kill")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint: skip points already recorded in the "
+             "checkpoint file")
     return parser
 
 
@@ -86,6 +99,18 @@ def _suffixed(path: str, exp_id: str, multi: bool) -> str:
         return path
     stem, dot, ext = path.rpartition(".")
     return f"{stem}.{exp_id}.{ext}" if dot else f"{path}.{exp_id}"
+
+
+def _resolve_output(path: str, default_name: str) -> str:
+    """Expand a directory-style output path to a file inside it.
+
+    ``--metrics out/`` (or an existing directory) means "write the
+    default-named file into that directory", creating it if needed.
+    """
+    if path.endswith(os.sep) or path.endswith("/") or os.path.isdir(path):
+        os.makedirs(path, exist_ok=True)
+        return os.path.join(path, default_name)
+    return path
 
 
 def _render_profile(tracer) -> str:
@@ -140,6 +165,11 @@ def _timeline(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # ``repro run <experiment>`` reads naturally in scripts/CI; the
+    # leading word is optional noise to the parser.
+    if argv and argv[0] == "run":
+        argv = argv[1:]
     args = build_parser().parse_args(argv)
     if args.seed is not None:
         _seed_rngs(args.seed)
@@ -155,8 +185,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                else [args.experiment])
     if args.experiment != "all" and args.experiment not in list_experiments():
         return _unknown_experiment(args.experiment)
+
+    fault_plan = None
+    if args.faults:
+        from .faults import FaultPlanError, load_plan
+
+        try:
+            fault_plan = load_plan(args.faults, config)
+        except OSError as exc:
+            print(f"cannot read fault plan: {exc}", file=sys.stderr)
+            return 2
+        except FaultPlanError as exc:
+            print(f"invalid fault plan {args.faults}:", file=sys.stderr)
+            for line in str(exc).splitlines():
+                print(f"  {line}", file=sys.stderr)
+            return 2
+
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    checkpoint = None
+    if args.checkpoint:
+        from .experiments.checkpoint import Checkpoint, CheckpointError
+
+        try:
+            checkpoint = Checkpoint(args.checkpoint, resume=args.resume)
+        except CheckpointError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     multi = len(targets) > 1
     observing = bool(args.trace or args.metrics or args.profile)
+    if args.trace:
+        args.trace = _resolve_output(args.trace, "trace.json")
+    if args.metrics:
+        args.metrics = _resolve_output(args.metrics, "metrics.json")
     # Fail fast on unwritable output paths -- before, not after, the run.
     for path in (args.trace, args.metrics):
         if path:
@@ -169,13 +232,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         kwargs = {"config": config}
         if args.quick:
             kwargs["quick"] = True
+        if checkpoint is not None:
+            import inspect
+
+            from .experiments import get_experiment
+
+            if "checkpoint" in inspect.signature(
+                    get_experiment(exp_id)).parameters:
+                kwargs["checkpoint"] = checkpoint
+            else:
+                print(f"note: experiment {exp_id!r} does not support "
+                      "checkpointing; --checkpoint ignored",
+                      file=sys.stderr)
+        if fault_plan is not None:
+            from .faults import use_faults
+
+            faults_ctx = use_faults(fault_plan)
+        else:
+            from contextlib import nullcontext
+
+            faults_ctx = nullcontext()
         if observing:
             from .obs import (build_manifest, use_tracer,
                               write_chrome_trace, write_metrics)
             from .sim import Tracer
 
             tracer = Tracer(enabled=True)
-            with use_tracer(tracer):
+            with use_tracer(tracer), faults_ctx:
                 result = _run(exp_id, **kwargs)
             print(result.render())
             if args.profile:
@@ -191,7 +274,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     result.manifest(config=config, tracer=tracer), path)
                 print(f"metrics manifest written to {path}")
         else:
-            result = _run(exp_id, **kwargs)
+            with faults_ctx:
+                result = _run(exp_id, **kwargs)
             print(result.render())
         print()
     return 0

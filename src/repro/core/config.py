@@ -49,6 +49,10 @@ class MachineConfig:
     agent_cycles: int = 150          #: CCMC/agent protocol processing per side
     ring_hop_cycles: int = 25        #: one hop on an SCI ring
     gcb_lookup_cycles: int = 8       #: global-cache-buffer tag check
+    ring_reroute_extra_cycles: int = 90  #: detour of one packet around a
+                                         #  failed ring: crossbar hop to a
+                                         #  surviving ring's FU + extra
+                                         #  agent forwarding (degraded mode)
     # 2-hypernode remote miss ~= 55 + 2*150 + 2*25 + 30 + SCI bookkeeping
     # ~= 450 cycles, close to the paper's "factor of eight on average"
     # over the 55-60 cycle local miss.

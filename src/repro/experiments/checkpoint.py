@@ -1,0 +1,91 @@
+"""Experiment-level checkpoint/resume for long sweeps.
+
+A :class:`Checkpoint` is a JSON file caching completed data points of
+one experiment, keyed by stable strings (``"baseline:FEM large"``,
+``"PIC 64x64x32:8"``, ...).  Long sweeps wrap each point in
+:meth:`point`; a killed run re-invoked with ``--resume`` skips every
+point already on disk and — because JSON round-trips Python floats
+exactly — produces bit-identical final results.
+
+The file is written atomically (temp file + ``os.replace``) after every
+completed point, so a kill at any moment leaves a loadable checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Optional
+
+__all__ = ["Checkpoint", "CheckpointError"]
+
+SCHEMA_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint file is unreadable or belongs to another experiment."""
+
+
+class Checkpoint:
+    """A resumable store of completed experiment data points."""
+
+    def __init__(self, path: str, resume: bool = False):
+        self.path = path
+        self.experiment: Optional[str] = None
+        self.points: Dict[str, object] = {}
+        self.hits = 0       #: points served from the checkpoint
+        self.computed = 0   #: points computed (and saved) this run
+        if resume:
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return  # --resume with no prior checkpoint: start fresh
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"cannot resume from {self.path}: {exc}") from exc
+        if data.get("schema") != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"{self.path} has checkpoint schema "
+                f"{data.get('schema')!r}, expected {SCHEMA_VERSION}")
+        self.experiment = data.get("experiment")
+        self.points = dict(data.get("points", {}))
+
+    def bind(self, experiment_id: str) -> None:
+        """Claim the checkpoint for one experiment (refuses a mismatch)."""
+        if self.experiment is not None and self.experiment != experiment_id:
+            raise CheckpointError(
+                f"{self.path} belongs to experiment "
+                f"{self.experiment!r}, not {experiment_id!r}; delete it or "
+                "point --checkpoint elsewhere")
+        self.experiment = experiment_id
+
+    def get(self, key: str):
+        return self.points.get(key)
+
+    def put(self, key: str, value) -> None:
+        """Record a completed point and persist the file atomically."""
+        self.points[key] = value
+        self._save()
+
+    def point(self, key: str, fn: Callable[[], object]):
+        """``fn()`` memoised under ``key``: skipped entirely on resume."""
+        if key in self.points:
+            self.hits += 1
+            return self.points[key]
+        value = fn()
+        self.computed += 1
+        self.put(key, value)
+        return value
+
+    def _save(self) -> None:
+        payload = {"schema": SCHEMA_VERSION, "experiment": self.experiment,
+                   "points": self.points}
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)

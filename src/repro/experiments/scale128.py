@@ -52,11 +52,24 @@ def _run_app(workload, n_threads: int):
 
 
 @register("scale128", "Predicted scaling to 128 processors (future work)")
-def run(config: Optional[MachineConfig] = None) -> ExperimentResult:
-    """Extrapolate every application to the 16-hypernode machine."""
+def run(config: Optional[MachineConfig] = None,
+        checkpoint=None) -> ExperimentResult:
+    """Extrapolate every application to the 16-hypernode machine.
+
+    ``checkpoint`` (a :class:`~repro.experiments.checkpoint.Checkpoint`)
+    persists each completed sweep point; a resumed run skips them and
+    reproduces the same final results bit for bit.
+    """
     del config  # machine size is the swept variable here
+    if checkpoint is not None:
+        checkpoint.bind("scale128")
+
+    def point(key, fn):
+        return fn() if checkpoint is None else checkpoint.point(key, fn)
+
     baseline_cfg = spp1000(n_hypernodes=1)
-    baselines = {name: _run_app(w, 1).time_ns
+    baselines = {name: point(f"baseline:{name}",
+                             lambda w=w: _run_app(w, 1).time_ns)
                  for name, w in _workloads(baseline_cfg).items()}
 
     series: List[Series] = []
@@ -68,8 +81,10 @@ def run(config: Optional[MachineConfig] = None) -> ExperimentResult:
         n_cpus = cfg.n_cpus
         cpus_axis.append(n_cpus)
         for name, workload in _workloads(cfg).items():
-            result = _run_app(workload, n_cpus)
-            per_app[name].append(baselines[name] / result.time_ns)
+            time_ns = point(
+                f"{name}:{hns}",
+                lambda w=workload, n=n_cpus: _run_app(w, n).time_ns)
+            per_app[name].append(baselines[name] / time_ns)
     data["cpus"] = cpus_axis
 
     table = Table("Predicted speed-up (vs 1 CPU) at full machine sizes",

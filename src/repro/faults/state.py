@@ -1,0 +1,193 @@
+"""Per-machine fault injector: replays a plan, degrades the machine.
+
+:class:`FaultState` is attached to one :class:`~repro.machine.system.Machine`
+(``machine.faults``) and owns the live degraded-mode state:
+
+* which SCI rings are currently down (and how traffic detours around them),
+* which CPUs / hypernodes have failed (their accesses halt forever, to be
+  caught by the watchdog),
+* the current PVM message-loss probabilities and the seeded RNG that makes
+  probabilistic loss exactly reproducible.
+
+The plan's events are scheduled on the machine's simulator at construction,
+so they fire at their simulated timestamps regardless of what the workload
+is doing.  When a hypernode fails, every SCI sharing list that references
+it is repaired through the existing ``purge()``/``detach()`` paths so the
+surviving machine's coherence state stays well-formed (checked under
+``REPRO_CHECK=1``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..sim.errors import SimulationError
+from .plan import FaultEvent, FaultPlan
+
+__all__ = ["FaultState", "NetworkPartitionedError"]
+
+
+class NetworkPartitionedError(SimulationError):
+    """Every SCI ring is down: no route exists between hypernodes."""
+
+
+class FaultState:
+    """Live fault state of one machine, driven by a :class:`FaultPlan`."""
+
+    def __init__(self, machine, plan: FaultPlan):
+        self.machine = machine
+        self.plan = plan
+        self.config = machine.config
+        self.sim = machine.sim
+        self.tracer = machine.tracer
+        self.failed_rings: set = set()
+        self.failed_cpus: set = set()
+        self.failed_hypernodes: set = set()
+        self.loss_p = 0.0
+        self.corrupt_p = 0.0
+        self.ack_loss_p = 0.0
+        #: consulted only by probabilistic delivery faults, so an empty
+        #: plan never draws from it (determinism of the zero-fault path)
+        self.rng = random.Random(plan.seed)
+        #: events already applied, in application order (for manifests)
+        self.applied: List[FaultEvent] = []
+        for ev in plan.events:
+            delay = max(ev.t_ns - self.sim.now, 0.0)
+            self.sim.schedule_callback(delay, lambda ev=ev: self.apply(ev))
+
+    # ------------------------------------------------------------------
+    # plan replay
+    # ------------------------------------------------------------------
+    def apply(self, ev: FaultEvent) -> None:
+        """Apply one fault event now (normally called by the scheduler)."""
+        now = self.sim.now
+        self.applied.append(ev)
+        if ev.kind == "ring_fail":
+            self.failed_rings.add(ev.ring)
+        elif ev.kind == "ring_recover":
+            self.failed_rings.discard(ev.ring)
+        elif ev.kind == "cpu_fail":
+            self.failed_cpus.add(ev.cpu)
+        elif ev.kind == "hypernode_fail":
+            self.failed_hypernodes.add(ev.hypernode)
+            self.failed_cpus.update(
+                self.machine.topology.cpus_of_hypernode(ev.hypernode))
+            self._fail_hypernode(ev.hypernode)
+        elif ev.kind == "pvm_loss":
+            self.loss_p = ev.p
+            self.corrupt_p = ev.corrupt_p
+            self.ack_loss_p = ev.ack_loss_p
+        else:  # pragma: no cover - plan validation rejects unknown kinds
+            raise ValueError(f"unknown fault kind {ev.kind!r}")
+        self.tracer.emit(now, f"fault.{ev.kind}")
+        self.tracer.instant(now, f"fault.{ev.kind}", cat="fault",
+                            args=ev.to_dict())
+
+    # ------------------------------------------------------------------
+    # degraded SCI routing
+    # ------------------------------------------------------------------
+    def route(self, ring_id: int) -> Tuple[int, float]:
+        """``(actual_ring, extra_cycles)`` for a transfer asked of ``ring_id``.
+
+        A healthy ring routes as itself at no extra cost.  A failed ring's
+        traffic detours to the nearest surviving ring — through the
+        crossbar to that ring's functional unit and its agent — charged as
+        ``ring_reroute_extra_cycles`` on top of the normal hop latency.
+        """
+        if ring_id not in self.failed_rings:
+            return ring_id, 0.0
+        n = self.config.n_rings
+        for k in range(1, n):
+            candidate = (ring_id + k) % n
+            if candidate not in self.failed_rings:
+                self.tracer.emit(self.sim.now, "ring.reroute", ring_id,
+                                 candidate)
+                return candidate, float(self.config.ring_reroute_extra_cycles)
+        raise NetworkPartitionedError(
+            f"all {n} SCI rings have failed; no route for ring {ring_id} "
+            "traffic")
+
+    # ------------------------------------------------------------------
+    # CPU / hypernode failure
+    # ------------------------------------------------------------------
+    def cpu_alive(self, cpu: int) -> bool:
+        return cpu not in self.failed_cpus
+
+    def hypernode_alive(self, hypernode: int) -> bool:
+        return hypernode not in self.failed_hypernodes
+
+    def gate(self, cpu: int, target_hn: Optional[int] = None):
+        """An untriggered event halting this access forever, or ``None``.
+
+        A failed CPU does not raise — like real hardware it simply stops
+        making progress, and the watchdog's stall report names it.  The
+        same applies to accesses targeting a failed hypernode's memory.
+        """
+        if not self.failed_cpus and not self.failed_hypernodes:
+            return None
+        if cpu in self.failed_cpus:
+            return self._halt(cpu, f"cpu {cpu} failed")
+        if target_hn is not None and target_hn in self.failed_hypernodes:
+            return self._halt(
+                cpu, f"access to failed hypernode {target_hn} memory")
+        return None
+
+    def _halt(self, cpu: int, detail: str):
+        wd = self.machine.watchdog
+        if wd is not None:
+            # registered but never cleared: shows up in the stall report
+            wd.block(f"cpu {cpu}", "halted", detail)
+        self.tracer.emit(self.sim.now, "fault.halt", cpu)
+        return self.sim.event()
+
+    def _fail_hypernode(self, hn: int) -> None:
+        """Purge every piece of coherence state referencing hypernode ``hn``.
+
+        Lines *homed* at the dead hypernode lose their backing memory:
+        their SCI lists are purged and every surviving sharer's GCB,
+        directory entry, and cached copies are dropped.  Lines merely
+        *shared* by the dead hypernode detach it from their lists via the
+        normal rollout path.
+        """
+        from ..machine import sci as sci_mod
+
+        machine = self.machine
+        for line, lst in list(machine.sci._lists.items()):
+            if lst.home == hn:
+                for sharer in lst.purge():
+                    node_dir = machine.directories[sharer]
+                    node_dir.gcb_drop(line)
+                    for cpu in node_dir.clear_line(line):
+                        machine.caches[cpu].invalidate(line)
+                machine.sci.drop(line)
+            elif hn in lst:
+                lst.detach(hn)
+                if sci_mod.SCI_CHECK:
+                    lst.check_invariants()
+        dead_dir = machine.directories[hn]
+        dead_dir._entries.clear()
+        dead_dir.global_cache_buffer.clear()
+        for cpu in machine.topology.cpus_of_hypernode(hn):
+            machine.caches[cpu].flush()
+
+    # ------------------------------------------------------------------
+    # probabilistic PVM delivery faults
+    # ------------------------------------------------------------------
+    def sample_delivery(self) -> str:
+        """Fate of one PVM message attempt.
+
+        One of ``"ok"`` (delivered, acknowledged), ``"corrupt"`` (arrives
+        mangled: receiver discards, sender times out), ``"lost"`` (never
+        arrives), ``"ack_lost"`` (delivered but the acknowledgement is
+        lost, so the sender retransmits — the duplicate-suppression case).
+        The RNG is consulted only for probabilities that are actually
+        non-zero, keeping zero-fault runs deterministic.
+        """
+        if self.corrupt_p > 0.0 and self.rng.random() < self.corrupt_p:
+            return "corrupt"
+        if self.loss_p > 0.0 and self.rng.random() < self.loss_p:
+            return "lost"
+        if self.ack_loss_p > 0.0 and self.rng.random() < self.ack_loss_p:
+            return "ack_lost"
+        return "ok"

@@ -1,0 +1,123 @@
+"""Simulated-time deadlock/stall watchdog.
+
+The bare simulator surfaces a deadlock only as "the event queue drained"
+— correct, but useless for diagnosing *which* barrier or lock wedged a
+128-thread run.  :class:`Watchdog` keeps a registry of blocked waiters
+(spin loops, PVM receives, halted CPUs) with what they wait on and when
+they last made progress, and runs a periodic checker process that:
+
+* upgrades a drained-queue deadlock into a :class:`DeadlockError` whose
+  report names every blocked waiter, and
+* raises :class:`StallError` when any waiter has been blocked longer
+  than ``timeout_ns`` of simulated time even though the machine is still
+  executing events (a livelock/stall, not a classical deadlock).
+
+Waiters register with :meth:`block` and deregister with :meth:`clear`;
+the machine model does this around every spin wait when a watchdog is
+installed, at zero cost otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..sim.errors import DeadlockError
+
+__all__ = ["Watchdog", "StallError"]
+
+
+class StallError(DeadlockError):
+    """A waiter exceeded the watchdog timeout while the system kept running."""
+
+
+class _Waiter:
+    __slots__ = ("who", "kind", "detail", "since")
+
+    def __init__(self, who: str, kind: str, detail: str, since: float):
+        self.who = who
+        self.kind = kind
+        self.detail = detail
+        self.since = since
+
+
+class Watchdog:
+    """Tracks blocked waiters and periodically checks for stalls."""
+
+    def __init__(self, sim, interval_ns: float = 200_000.0,
+                 timeout_ns: float = 5_000_000.0):
+        self.sim = sim
+        self.interval_ns = float(interval_ns)
+        self.timeout_ns = float(timeout_ns)
+        self._tokens = itertools.count()
+        self._blocked: Dict[int, _Waiter] = {}
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # waiter registry
+    # ------------------------------------------------------------------
+    def block(self, who: str, kind: str, detail: str = "") -> int:
+        """Register a blocked waiter; returns a token for :meth:`clear`."""
+        token = next(self._tokens)
+        self._blocked[token] = _Waiter(who, kind, detail, self.sim.now)
+        return token
+
+    def clear(self, token: int) -> None:
+        """The waiter made progress: drop it from the registry."""
+        self._blocked.pop(token, None)
+
+    @property
+    def blocked_count(self) -> int:
+        return len(self._blocked)
+
+    def report(self, now: Optional[float] = None) -> str:
+        """Multi-line diagnostic naming every blocked waiter."""
+        now = self.sim.now if now is None else now
+        if not self._blocked:
+            return "no blocked waiters registered"
+        lines = [f"{len(self._blocked)} blocked waiter(s) at "
+                 f"t={now / 1000.0:.3f} us:"]
+        for waiter in sorted(self._blocked.values(), key=lambda w: w.since):
+            idle_us = (now - waiter.since) / 1000.0
+            what = f" on {waiter.detail}" if waiter.detail else ""
+            lines.append(
+                f"  - {waiter.who}: {waiter.kind}{what}; last progress at "
+                f"t={waiter.since / 1000.0:.3f} us ({idle_us:.3f} us ago)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # the checker process
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Start the periodic checker on the simulator (idempotent)."""
+        if self._installed:
+            return
+        self._installed = True
+        self.sim.process(self._checker())
+
+    def _checker(self):
+        while True:
+            yield self.sim.timeout(self.interval_ns)
+            # Our own timeout was just consumed; anything left is real work.
+            if not self.sim._queue:
+                if self._blocked:
+                    raise DeadlockError(
+                        "deadlock: event queue drained with waiters blocked",
+                        now=self.sim.now,
+                        pending=getattr(self.sim, "alive_processes", None),
+                        report=self.report())
+                return  # workload finished; stand down
+            now = self.sim.now
+            stalled = [w for w in self._blocked.values()
+                       if now - w.since >= self.timeout_ns]
+            if stalled:
+                oldest = min(stalled, key=lambda w: w.since)
+                raise StallError(
+                    f"stall: {oldest.who} blocked ({oldest.kind}"
+                    f"{' on ' + oldest.detail if oldest.detail else ''}) for "
+                    f"{(now - oldest.since) / 1000.0:.3f} us of simulated "
+                    f"time (watchdog timeout "
+                    f"{self.timeout_ns / 1000.0:.3f} us)",
+                    now=now,
+                    pending=getattr(self.sim, "alive_processes", None),
+                    report=self.report(now))

@@ -62,11 +62,17 @@ class Ring:
         self.transfers = 0
         self.busy_ns = 0.0
 
-    def transfer(self, src_hn: int, dst_hn: int):
-        """Process: move one packet from ``src_hn`` to ``dst_hn``."""
+    def transfer(self, src_hn: int, dst_hn: int, extra_cycles: float = 0.0):
+        """Process: move one packet from ``src_hn`` to ``dst_hn``.
+
+        ``extra_cycles`` adds a per-packet detour cost (degraded-mode
+        rerouting around a failed ring charges it here so the surviving
+        ring's occupancy reflects the extra load).
+        """
         cfg = self.config
         hops = (dst_hn - src_hn) % cfg.n_hypernodes
-        hold = cfg.cycles(cfg.ring_hop_cycles) * max(hops, 1)
+        hold = (cfg.cycles(cfg.ring_hop_cycles) * max(hops, 1)
+                + cfg.cycles(extra_cycles))
 
         def _go():
             yield self._bus.acquire()
@@ -91,9 +97,24 @@ class Interconnect:
         self.rings: List[Ring] = [
             Ring(sim, config, r) for r in range(config.n_rings)
         ]
+        #: optional :class:`~repro.faults.state.FaultState`; when set,
+        #: :meth:`transfer` consults it for degraded routing.
+        self.faults = None
 
     def crossbar(self, hypernode: int) -> Crossbar:
         return self.crossbars[hypernode]
 
     def ring(self, ring_id: int) -> Ring:
         return self.rings[ring_id]
+
+    def transfer(self, ring_id: int, src_hn: int, dst_hn: int):
+        """Process: one packet on ``ring_id``, rerouted if that ring is down.
+
+        This is the fault-aware front door the machine model uses; with no
+        fault state attached it is exactly ``self.rings[ring_id].transfer``.
+        """
+        if self.faults is None:
+            return self.rings[ring_id].transfer(src_hn, dst_hn)
+        actual, extra = self.faults.route(ring_id)
+        return self.rings[actual].transfer(src_hn, dst_hn,
+                                           extra_cycles=extra)

@@ -16,10 +16,16 @@ invalidation must visit).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-__all__ = ["SCIList", "SCIDirectory"]
+__all__ = ["SCIList", "SCIDirectory", "SCI_CHECK"]
+
+#: Debug mode: with ``REPRO_CHECK=1`` in the environment, list-mutating
+#: coherence paths call :meth:`SCIList.check_invariants` after every
+#: rebuild/detach.  Off by default — the checks walk the whole list.
+SCI_CHECK = os.environ.get("REPRO_CHECK", "") == "1"
 
 
 @dataclass

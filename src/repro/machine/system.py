@@ -35,7 +35,9 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..core.config import MachineConfig, spp1000
+from ..faults.plan import FaultPlan, active_fault_plan
 from ..sim import Event, Simulator, Tracer, active_tracer
+from . import sci as sci_mod
 from .address import AddressSpace, HomeLocation, MemClass, Region
 from .cache import DirectMappedCache
 from .directory import HypernodeDirectory
@@ -55,7 +57,8 @@ class Machine:
 
     def __init__(self, config: Optional[MachineConfig] = None,
                  sim: Optional[Simulator] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 faults: Optional[FaultPlan] = None):
         self.config = config or spp1000()
         self.config.validate()
         self.sim = sim or Simulator()
@@ -82,6 +85,26 @@ class Machine:
         self._values: Dict[int, object] = {}
         # line -> {cpu: wake event} for spin-waiters
         self._spin_waiters: Dict[int, Dict[int, Event]] = {}
+        # Fault injection: like the tracer, adopt the ambient plan
+        # (``use_faults``) when no explicit one is given.  Without a plan
+        # both attributes stay None and every operation pays exactly one
+        # ``is None`` check — the zero-cost contract.
+        self.faults = None
+        self.watchdog = None
+        plan = faults if faults is not None else active_fault_plan()
+        if plan is not None:
+            from ..faults.state import FaultState
+            from ..faults.watchdog import Watchdog
+
+            self.faults = FaultState(self, plan)
+            self.net.faults = self.faults
+            if plan.watchdog is not None:
+                self.watchdog = Watchdog(
+                    self.sim,
+                    interval_ns=plan.watchdog.interval_us * 1000.0,
+                    timeout_ns=plan.watchdog.timeout_us * 1000.0)
+                self.sim.watchdog = self.watchdog
+                self.watchdog.install()
 
     # ------------------------------------------------------------------
     # memory allocation
@@ -114,7 +137,19 @@ class Machine:
 
     def compute(self, cpu: int, cycles: float):
         """Event: the CPU computes for ``cycles`` clock cycles."""
+        if self.faults is not None:
+            blocked = self.faults.gate(cpu)
+            if blocked is not None:
+                return blocked  # a failed CPU never finishes computing
         return self.sim.timeout(self.config.cycles(cycles))
+
+    def _gate(self, cpu: int, target_hn: Optional[int] = None):
+        """Generator: halt forever if ``cpu`` (or the target memory's
+        hypernode) has failed; yields nothing on the healthy path."""
+        if self.faults is not None:
+            blocked = self.faults.gate(cpu, target_hn)
+            if blocked is not None:
+                yield blocked
 
     def timestamp(self, cpu: int):
         """Process: take one timestamp; returns the (post-read) sim time.
@@ -155,18 +190,17 @@ class Machine:
     def _remote_path(self, my_hn: int, home: HomeLocation, attach: bool):
         """Full SCI path to another hypernode's memory and back."""
         cfg = self.config
-        ring = self.net.ring(home.ring)
         yield self.sim.timeout(cfg.cycles(cfg.issue_cycles))
         # hop to the local FU that fronts this line's ring
         yield self.net.crossbar(my_hn).traverse(home.fu)
         yield self.sim.timeout(cfg.cycles(cfg.agent_cycles))
-        yield ring.transfer(my_hn, home.hypernode)
+        yield self.net.transfer(home.ring, my_hn, home.hypernode)
         yield self.sim.timeout(cfg.cycles(cfg.agent_cycles))
         yield self.net.crossbar(home.hypernode).traverse(home.fu)
         yield self.mem.bank(home).service()
         if attach:
             yield self.sim.timeout(cfg.cycles(cfg.sci_update_cycles))
-        yield ring.transfer(home.hypernode, my_hn)
+        yield self.net.transfer(home.ring, home.hypernode, my_hn)
         yield self.sim.timeout(cfg.cycles(cfg.fill_cycles))
         self.tracer.emit(self.sim.now, "ring.round_trip", home.ring)
 
@@ -175,6 +209,8 @@ class Machine:
         cfg = self.config
         my_hn = loc.hypernode
         my_dir = self.directories[my_hn]
+        if home.hypernode != my_hn:
+            yield from self._gate(cpu, home.hypernode)
         if home.hypernode == my_hn:
             yield self.sim.timeout(cfg.cycles(cfg.dir_lookup_cycles))
             ent = my_dir.entry(line)
@@ -214,8 +250,8 @@ class Machine:
                     # dirty remote line drains through the agent/ring
                     yield self.sim.timeout(
                         cfg.cycles(cfg.agent_cycles))
-                    yield self.net.ring(victim_home.ring).transfer(
-                        my_hn, victim_home.hypernode)
+                    yield self.net.transfer(victim_home.ring,
+                                            my_hn, victim_home.hypernode)
                 self.tracer.emit(self.sim.now, "cache.writeback")
             my_dir.remove_sharer(victim, cpu)
         my_dir.add_sharer(line, cpu)
@@ -231,6 +267,7 @@ class Machine:
         cfg = self.config
         line = self.line_of(addr)
         loc = self.topology.locate(cpu)
+        yield from self._gate(cpu)
         yield self.sim.timeout(cfg.clock_ns)  # the access itself (1 cycle)
         yield from self._translate(cpu, addr)
         if self.caches[cpu].access(line):
@@ -251,6 +288,7 @@ class Machine:
         my_hn = loc.hypernode
         my_dir = self.directories[my_hn]
         home = self._home(line, my_hn)
+        yield from self._gate(cpu)
         yield self.sim.timeout(cfg.clock_ns)
         yield from self._translate(cpu, addr)
         hit = self.caches[cpu].access(line)
@@ -306,15 +344,14 @@ class Machine:
         if home_has_copies and home.hypernode not in targets:
             targets.append(home.hypernode)
         if targets:
-            ring = self.net.ring(home.ring)
             cursor = my_hn
             if home.hypernode != my_hn:
                 # reach the home directory first to start the purge
                 yield self.sim.timeout(cfg.cycles(cfg.agent_cycles))
-                yield ring.transfer(my_hn, home.hypernode)
+                yield self.net.transfer(home.ring, my_hn, home.hypernode)
                 cursor = home.hypernode
             for hn in targets:
-                yield ring.transfer(cursor, hn)
+                yield self.net.transfer(home.ring, cursor, hn)
                 yield self.sim.timeout(
                     cfg.cycles(cfg.agent_cycles + cfg.sci_update_cycles))
                 cursor = hn
@@ -326,12 +363,16 @@ class Machine:
                     self._wake_spinner(line, other)
                 self.tracer.emit(self.sim.now, "store.inval.remote", hn)
             if cursor != my_hn:
-                yield ring.transfer(cursor, my_hn)
+                yield self.net.transfer(home.ring, cursor, my_hn)
             # rebuild the sharing list: only the writer remains
             for hn in list(sci_list.walk()):
                 sci_list.detach(hn)
+                if sci_mod.SCI_CHECK:
+                    sci_list.check_invariants()
             if my_hn != home.hypernode and my_hn not in sci_list:
                 sci_list.attach(my_hn)
+            if sci_mod.SCI_CHECK:
+                sci_list.check_invariants()
 
     # ------------------------------------------------------------------
     # uncached atomics (counting semaphores)
@@ -343,9 +384,12 @@ class Machine:
     def _fetch_add(self, cpu: int, addr: int, delta):
         cfg = self.config
         loc = self.topology.locate(cpu)
+        yield from self._gate(cpu)
         yield from self._translate(cpu, addr)
         line = self.line_of(addr)
         home = self._home(line, loc.hypernode)
+        if home.hypernode != loc.hypernode:
+            yield from self._gate(cpu, home.hypernode)
         if home.hypernode == loc.hypernode:
             overhead = max(0, cfg.uncached_local_cycles - cfg.bank_cycles)
             yield self.sim.timeout(cfg.cycles(overhead))
@@ -375,6 +419,7 @@ class Machine:
             raise ValueError("block size must be positive")
         cfg = self.config
         loc = self.topology.locate(cpu)
+        yield from self._gate(cpu)
         first_line = self.line_of(addr)
         last_line = self.line_of(addr + nbytes - 1)
         nlines = (last_line - first_line) // cfg.line_bytes + 1
@@ -403,17 +448,22 @@ class Machine:
     # ------------------------------------------------------------------
     # spin waiting
     # ------------------------------------------------------------------
-    def spin_until(self, cpu: int, addr: int, predicate: Callable[[object], bool]):
+    def spin_until(self, cpu: int, addr: int,
+                   predicate: Callable[[object], bool],
+                   info: Optional[str] = None):
         """Process: spin on a cached word until ``predicate(value)`` holds.
 
         While the value is cached and unchanged the CPU spins at cache
         speed (costing nothing further in simulation); it is re-activated
         by the coherence invalidation the eventual writer sends, then pays
         ``spin_wakeup_cycles`` plus the re-read miss.
-        """
-        return self.sim.process(self._spin_until(cpu, addr, predicate))
 
-    def _spin_until(self, cpu, addr, predicate):
+        ``info`` names what is being waited on (e.g. which barrier) for
+        the watchdog's stall report.
+        """
+        return self.sim.process(self._spin_until(cpu, addr, predicate, info))
+
+    def _spin_until(self, cpu, addr, predicate, info=None):
         cfg = self.config
         line = self.line_of(addr)
         while True:
@@ -425,7 +475,15 @@ class Machine:
             if ev is None or ev.triggered:
                 ev = self.sim.event()
                 waiters[cpu] = ev
-            yield ev
+            if self.watchdog is not None:
+                token = self.watchdog.block(
+                    f"cpu {cpu}", "spin", info or f"word {addr:#x}")
+                try:
+                    yield ev
+                finally:
+                    self.watchdog.clear(token)
+            else:
+                yield ev
             yield self.sim.timeout(cfg.cycles(cfg.spin_wakeup_cycles))
 
     def _wake_spinner(self, line: int, cpu: int) -> None:

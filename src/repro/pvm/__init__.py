@@ -17,10 +17,11 @@ from .collectives import (
     pvm_reduce,
 )
 from .message import ANY_SOURCE, ANY_TAG, Message, matches
-from .system import PvmSystem, PvmTask, Request
+from .system import PvmSystem, PvmTask, Request, TaskFailedError
 
 __all__ = [
-    "PvmSystem", "PvmTask", "Request", "ANY_SOURCE", "ANY_TAG",
+    "PvmSystem", "PvmTask", "Request", "TaskFailedError",
+    "ANY_SOURCE", "ANY_TAG",
     "Message", "matches", "BufferPool", "BufferLease",
     "pvm_barrier", "pvm_bcast", "pvm_reduce", "pvm_allreduce",
     "pvm_gather",

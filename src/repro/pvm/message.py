@@ -28,6 +28,9 @@ class Message:
     payload: object
     buffer_addr: int
     seq: int
+    #: sender-side sequence number for duplicate suppression under
+    #: retransmission; 0 when the reliability layer is inactive
+    send_seq: int = 0
 
 
 def matches(msg: Message, source: int, tag: int) -> bool:

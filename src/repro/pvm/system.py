@@ -24,7 +24,12 @@ from ..runtime import Placement, Runtime, ThreadEnv
 from .buffers import BufferPool
 from .message import ANY_SOURCE, ANY_TAG, Message, matches
 
-__all__ = ["PvmTask", "PvmSystem", "Request"]
+__all__ = ["PvmTask", "PvmSystem", "Request", "TaskFailedError"]
+
+
+class TaskFailedError(RuntimeError):
+    """A send could not be completed: the peer is unreachable, or every
+    retransmission attempt was exhausted under message loss."""
 
 
 class Request:
@@ -55,7 +60,9 @@ class Request:
         """
         env = self.task.env
         if self._msg is None:
-            yield env.spin(self.task._mail_flag, lambda _v: self.test())
+            yield env.spin(self.task._mail_flag, lambda _v: self.test(),
+                           info=f"pvm irecv by task {self.task.tid} "
+                                f"(source {self.source}, tag {self.tag})")
         if not self._unpacked:
             yield env.read_block(self._msg.buffer_addr, self._msg.nbytes)
             self.task.received_messages += 1
@@ -77,6 +84,11 @@ class PvmTask:
         # SCI round trip for it.
         self._mail_lock = system.runtime.alloc_sync_word(env.hypernode, 0)
         self._mail_seq = 0
+        # Reliability layer (active only under a fault plan): outgoing
+        # sequence counter and the (src, send_seq) pairs already delivered
+        # here, for duplicate suppression under retransmission.
+        self._send_seq = 0
+        self._seen_seqs: set = set()
         self.sent_messages = 0
         self.received_messages = 0
 
@@ -105,22 +117,100 @@ class PvmTask:
         if tracer.enabled:
             tracer.end(env.now, "pvm.pack", "pvm",
                        pid=env.hypernode, tid=env.cpu)
+        faults = system.machine.faults
+        if faults is None:
+            yield from self._post(dest, payload, nbytes, tag, lease)
+        else:
+            yield from self._post_reliable(dest, payload, nbytes, tag,
+                                           lease, faults)
+        self.sent_messages += 1
+        if tracer.enabled:
+            tracer.end(env.now, "pvm.send", "pvm",
+                       pid=env.hypernode, tid=env.cpu)
+
+    def _post(self, dest: "PvmTask", payload, nbytes: int, tag: int,
+              lease, send_seq: int = 0):
+        """Generator: the mailbox insert + notify (one delivery attempt)."""
+        env = self.env
+        tracer = self.system.machine.tracer
         yield env.fetch_add(dest._mail_lock, 1)        # mailbox insert lock
         dest._mail_seq += 1
-        msg = Message(self.tid, dest_tid, tag, nbytes, payload,
-                      lease.addr, dest._mail_seq)
+        msg = Message(self.tid, dest.tid, tag, nbytes, payload,
+                      lease.addr, dest._mail_seq, send_seq)
         dest.mailbox.append(msg)
         if tracer.enabled:
             # The shared-buffer hand-off: the message changes hands here.
             tracer.instant(env.now, "pvm.post", "pvm",
                            pid=dest.env.hypernode, tid=dest.env.cpu,
-                           args={"source": self.tid, "dest": dest_tid,
+                           args={"source": self.tid, "dest": dest.tid,
                                  "tag": tag, "nbytes": nbytes})
         yield env.store(dest._mail_flag, dest._mail_seq)   # notify
-        self.sent_messages += 1
-        if tracer.enabled:
-            tracer.end(env.now, "pvm.send", "pvm",
-                       pid=env.hypernode, tid=env.cpu)
+
+    def _post_reliable(self, dest: "PvmTask", payload, nbytes: int,
+                       tag: int, lease, faults):
+        """Generator: delivery with timeout / bounded exponential backoff.
+
+        Each attempt samples a delivery fate from the (seeded) fault
+        state.  A lost or corrupted message still charges the wire work
+        of the attempt; the sender then waits out its per-send timeout
+        (``pvm.timeout_us``, multiplied by ``backoff`` per retry) and
+        retransmits.  Deliveries whose acknowledgement was lost get
+        retransmitted too — the receiver suppresses the duplicate via
+        the ``(src, send_seq)`` pair.  After ``max_retries``
+        retransmissions, :class:`TaskFailedError` is raised; a peer whose
+        CPU or hypernode has failed raises it immediately.
+        """
+        env = self.env
+        sim = env.sim
+        tracer = self.system.machine.tracer
+        policy = faults.plan.pvm
+        timeout_ns = policy.timeout_us * 1000.0
+        self._send_seq += 1
+        send_seq = self._send_seq
+        attempts = policy.max_retries + 1
+        for attempt in range(attempts):
+            if attempt:
+                tracer.emit(env.now, "pvm.retry")
+                if tracer.enabled:
+                    tracer.instant(env.now, "pvm.retry", "pvm",
+                                   pid=env.hypernode, tid=env.cpu,
+                                   args={"dest": dest.tid,
+                                         "attempt": attempt})
+            if (not faults.cpu_alive(dest.env.cpu)
+                    or not faults.hypernode_alive(dest.env.hypernode)):
+                tracer.emit(env.now, "pvm.unreachable")
+                raise TaskFailedError(
+                    f"task {dest.tid} is unreachable: its CPU "
+                    f"{dest.env.cpu} / hypernode {dest.env.hypernode} "
+                    "has failed")
+            fate = faults.sample_delivery()
+            if fate in ("ok", "ack_lost"):
+                key = (self.tid, send_seq)
+                if key in dest._seen_seqs:
+                    # retransmission of an already-delivered message: the
+                    # receiver drops it, but the wire work still happens
+                    tracer.emit(env.now, "pvm.dup_drop")
+                    yield env.fetch_add(dest._mail_lock, 1)
+                    yield env.store(dest._mail_flag, dest._mail_seq)
+                else:
+                    dest._seen_seqs.add(key)
+                    yield from self._post(dest, payload, nbytes, tag,
+                                          lease, send_seq)
+                if fate == "ok":
+                    return
+                # delivered, but the ack never came back: the sender
+                # cannot tell this from loss, so it times out and retries
+            else:
+                # lost/corrupt: the attempt's wire work is still charged
+                tracer.emit(env.now, f"pvm.{fate}")
+                yield env.fetch_add(dest._mail_lock, 1)
+                yield env.store(dest._mail_flag, dest._mail_seq)
+            tracer.emit(env.now, "pvm.timeout")
+            yield sim.timeout(timeout_ns * policy.backoff ** attempt)
+        raise TaskFailedError(
+            f"send to task {dest.tid} failed after {attempts} attempts "
+            f"(tag {tag}, {nbytes} bytes): retransmission budget "
+            "exhausted")
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Generator: block until a matching message arrives; returns payload."""
@@ -134,7 +224,9 @@ class PvmTask:
         msg = self._take(source, tag)
         if msg is None:
             yield env.spin(self._mail_flag,
-                           lambda _v: self._peek(source, tag) is not None)
+                           lambda _v: self._peek(source, tag) is not None,
+                           info=f"pvm recv by task {self.tid} "
+                                f"(source {source}, tag {tag})")
             msg = self._take(source, tag)
             assert msg is not None
         yield env.read_block(msg.buffer_addr, msg.nbytes)  # access/unpack
@@ -142,7 +234,7 @@ class PvmTask:
         if tracer.enabled:
             tracer.end(env.now, "pvm.recv", "pvm",
                        pid=env.hypernode, tid=env.cpu,
-                       args={"source": msg.source, "nbytes": msg.nbytes})
+                       args={"source": msg.src, "nbytes": msg.nbytes})
         return msg.payload
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:

@@ -68,7 +68,9 @@ class Barrier:
         if self.n_threads == 1:
             return
         target = generation + 1
-        yield env.spin(self._flag_addr, lambda v: v >= target)
+        yield env.spin(self._flag_addr, lambda v: v >= target,
+                       info=f"barrier@{self._flag_addr:#x} "
+                            f"(n={self.n_threads}, generation {target})")
         # Scheduler puts released threads back on core one at a time.
         yield self._dispatch.acquire()
         try:

@@ -44,7 +44,8 @@ class AsyncThread:
         """Generator: wait for the child; returns its result."""
         cfg = self.runtime.config
         if not self.finished:
-            yield env.spin(self._done_flag, lambda v: v == 1)
+            yield env.spin(self._done_flag, lambda v: v == 1,
+                           info=f"join of async thread {self.tid}")
         yield env.compute(cfg.join_per_thread_cycles)
         return self.result
 
@@ -89,8 +90,9 @@ class ThreadEnv:
     def write_block(self, addr: int, nbytes: int):
         return self.machine.write_block(self.cpu, addr, nbytes)
 
-    def spin(self, addr: int, predicate):
-        return self.machine.spin_until(self.cpu, addr, predicate)
+    def spin(self, addr: int, predicate, info: Optional[str] = None):
+        """``info`` names what is awaited, for watchdog stall reports."""
+        return self.machine.spin_until(self.cpu, addr, predicate, info)
 
     def alloc_private(self, size: int, label: str = "") -> Region:
         """Thread-private memory homed on this thread's functional unit."""
@@ -212,7 +214,8 @@ class Runtime:
                 child_env, body, tid_in_team, desc, join_count, done_flag,
                 n_threads, results))
 
-        yield parent.spin(done_flag, lambda v: v == 1)
+        yield parent.spin(done_flag, lambda v: v == 1,
+                          info=f"join of {n_threads}-thread team")
         yield parent.compute(cfg.join_per_thread_cycles * n_threads)
         if tracer.enabled:
             tracer.end(self.sim.now, "fork_join", "runtime",

@@ -55,7 +55,9 @@ class CriticalSection:
         ticket = yield env.fetch_add(self.ticket_addr, 1)
         serving = yield env.load(self.serving_addr)
         if serving != ticket:
-            yield env.spin(self.serving_addr, lambda v: v == ticket)
+            yield env.spin(self.serving_addr, lambda v: v == ticket,
+                           info=f"ticket lock@{self.serving_addr:#x} "
+                                f"(ticket {ticket})")
         tracer = self.runtime.machine.tracer
         if tracer.enabled:
             tracer.instant(env.now, "lock.acquire", "runtime",
@@ -91,7 +93,8 @@ class Gate:
         """Generator: block until the gate is open."""
         value = yield env.load(self.addr)
         if value != 1:
-            yield env.spin(self.addr, lambda v: v == 1)
+            yield env.spin(self.addr, lambda v: v == 1,
+                           info=f"gate@{self.addr:#x}")
 
     def open(self, env: ThreadEnv):
         """Generator: open the gate, releasing all waiters."""

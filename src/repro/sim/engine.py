@@ -178,6 +178,13 @@ class Simulator:
         #: so the hot loop pays nothing; the machine model attaches its
         #: tracer here when tracing is enabled.
         self.tracer = None
+        #: optional :class:`~repro.faults.watchdog.Watchdog` whose report
+        #: enriches deadlock diagnostics; attached by the machine model
+        #: when a fault plan configures one.
+        self.watchdog = None
+        #: live (unfinished) :class:`~repro.sim.process.Process` count,
+        #: maintained by the processes themselves — deadlock context.
+        self.alive_processes = 0
 
     # -- clock ----------------------------------------------------------
     @property
@@ -260,7 +267,10 @@ class Simulator:
             while not sentinel.processed:
                 if not self._queue:
                     raise DeadlockError(
-                        "event queue drained before target event triggered")
+                        "event queue drained before target event triggered",
+                        now=self._now, pending=self.alive_processes,
+                        report=(self.watchdog.report(self._now)
+                                if self.watchdog is not None else None))
                 self.step()
             if sentinel.ok:
                 return sentinel.value

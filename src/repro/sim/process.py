@@ -37,6 +37,7 @@ class Process(Event):
                 f"Process needs a generator, got {type(generator).__name__}; "
                 "did you call the function instead of passing its generator?")
         super().__init__(sim)
+        sim.alive_processes += 1
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         #: the event this process is currently waiting on (None when ready)
@@ -50,6 +51,16 @@ class Process(Event):
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
         return not self.triggered
+
+    def succeed(self, value=None) -> "Event":
+        result = super().succeed(value)
+        self.sim.alive_processes -= 1
+        return result
+
+    def fail(self, exception: BaseException) -> "Event":
+        result = super().fail(exception)
+        self.sim.alive_processes -= 1
+        return result
 
     def interrupt(self, cause: object = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.

@@ -7,10 +7,12 @@
 
 from .cxpa import CxpaProfiler, CxpaReport, PhaseStats
 from .hpm import HpmSnapshot, collect, diff, render
-from .validate import ValidationRow, render_validation, validate_primitives
+from .validate import (ValidationRow, render_validation,
+                       validate_fault_plan, validate_primitives)
 
 __all__ = [
     "CxpaProfiler", "CxpaReport", "PhaseStats",
     "HpmSnapshot", "collect", "diff", "render",
     "ValidationRow", "validate_primitives", "render_validation",
+    "validate_fault_plan",
 ]

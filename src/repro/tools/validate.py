@@ -21,7 +21,33 @@ from ..experiments.fig4_message import round_trip_us
 from ..perfmodel import barrier_ns, forkjoin_ns, pvm_oneway_ns
 from ..runtime import Placement
 
-__all__ = ["ValidationRow", "validate_primitives", "render_validation"]
+__all__ = ["ValidationRow", "validate_primitives", "render_validation",
+           "validate_fault_plan"]
+
+
+def validate_fault_plan(path: str,
+                        config: Optional[MachineConfig] = None
+                        ) -> List[str]:
+    """Validate a fault-plan JSON file; returns actionable error messages.
+
+    An empty list means the file is a valid plan for ``config`` (defaults
+    to the paper's 2-hypernode machine, which bounds the ring/CPU/
+    hypernode id ranges).  File-level problems (unreadable, not JSON)
+    are reported the same way instead of raising.
+    """
+    import json
+
+    from ..faults.plan import validate_plan_dict
+
+    config = config or spp1000()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path} is not valid JSON: {exc}"]
+    return validate_plan_dict(data, config)
 
 
 @dataclass(frozen=True)

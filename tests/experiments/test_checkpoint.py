@@ -1,0 +1,113 @@
+"""Tests for experiment checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.experiments import Checkpoint, CheckpointError, run_experiment
+from repro.experiments.checkpoint import SCHEMA_VERSION
+
+
+def test_point_memoises_and_persists(tmp_path):
+    path = str(tmp_path / "ck.json")
+    ck = Checkpoint(path)
+    ck.bind("demo")
+    calls = []
+
+    def expensive():
+        calls.append(1)
+        return 42.5
+
+    assert ck.point("a:1", expensive) == 42.5
+    assert ck.point("a:1", expensive) == 42.5
+    assert calls == [1]
+    assert ck.computed == 1 and ck.hits == 1
+
+    on_disk = json.loads(open(path).read())
+    assert on_disk["schema"] == SCHEMA_VERSION
+    assert on_disk["experiment"] == "demo"
+    assert on_disk["points"] == {"a:1": 42.5}
+
+
+def test_resume_skips_completed_points(tmp_path):
+    path = str(tmp_path / "ck.json")
+    first = Checkpoint(path)
+    first.bind("demo")
+    first.put("done", 1.0)
+
+    resumed = Checkpoint(path, resume=True)
+    resumed.bind("demo")
+
+    def must_not_run():
+        raise AssertionError("resumed point was recomputed")
+
+    assert resumed.point("done", must_not_run) == 1.0
+    assert resumed.hits == 1 and resumed.computed == 0
+
+
+def test_without_resume_flag_existing_file_is_ignored(tmp_path):
+    path = str(tmp_path / "ck.json")
+    Checkpoint(path).put("x", 1.0)
+    fresh = Checkpoint(path)  # no resume: starts empty
+    assert fresh.get("x") is None
+
+
+def test_bind_refuses_foreign_checkpoint(tmp_path):
+    path = str(tmp_path / "ck.json")
+    first = Checkpoint(path)
+    first.bind("scale128")
+    first.put("p", 0.0)
+    resumed = Checkpoint(path, resume=True)
+    with pytest.raises(CheckpointError, match="belongs to experiment"):
+        resumed.bind("degraded")
+
+
+def test_resume_with_missing_file_starts_fresh(tmp_path):
+    ck = Checkpoint(str(tmp_path / "nope.json"), resume=True)
+    assert ck.points == {}
+
+
+def test_resume_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "ck.json"
+    path.write_text(json.dumps({"schema": 99, "points": {}}))
+    with pytest.raises(CheckpointError, match="schema"):
+        Checkpoint(str(path), resume=True)
+
+
+def test_resume_rejects_corrupt_file(tmp_path):
+    path = tmp_path / "ck.json"
+    path.write_text("{truncated")
+    with pytest.raises(CheckpointError, match="cannot resume"):
+        Checkpoint(str(path), resume=True)
+
+
+def test_killed_sweep_resumes_to_identical_results(tmp_path):
+    """Acceptance: drop half the recorded points (as if the run had been
+    killed mid-sweep), re-run with --resume semantics, and require the
+    final results to be bit-identical to the uninterrupted run."""
+    path = str(tmp_path / "degraded.ckpt.json")
+    full = run_experiment("degraded", quick=True, checkpoint=Checkpoint(path))
+
+    state = json.loads(open(path).read())
+    keys = sorted(state["points"])
+    survivors = keys[: len(keys) // 2]
+    state["points"] = {k: state["points"][k] for k in survivors}
+    with open(path, "w") as fh:
+        json.dump(state, fh)
+
+    resumed = Checkpoint(path, resume=True)
+    rerun = run_experiment("degraded", quick=True, checkpoint=resumed)
+    assert rerun.data == full.data
+    assert resumed.hits == len(survivors)
+    assert resumed.computed == len(keys) - len(survivors)
+    # the checkpoint file is whole again
+    assert sorted(json.loads(open(path).read())["points"]) == keys
+
+
+def test_scale128_supports_checkpointing(tmp_path):
+    import inspect
+
+    from repro.experiments import get_experiment
+
+    assert "checkpoint" in inspect.signature(
+        get_experiment("scale128")).parameters

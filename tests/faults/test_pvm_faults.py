@@ -1,0 +1,128 @@
+"""Tests for the PVM reliability layer: timeout, retry/backoff, duplicate
+suppression, and unreachable peers.
+
+Loss is driven deterministically (probability 0 or 1 inside explicit
+time windows), so these tests have no statistical flakiness.
+"""
+
+import pytest
+
+from repro.core import spp1000
+from repro.faults import plan_from_dict, use_faults
+from repro.machine import Machine
+from repro.pvm import PvmSystem, TaskFailedError
+from repro.runtime import Placement, Runtime
+
+
+def make_pvm(plan_dict, n_hypernodes=2):
+    plan = plan_from_dict(plan_dict, spp1000(n_hypernodes))
+    with use_faults(plan):
+        machine = Machine(spp1000(n_hypernodes))
+    return PvmSystem(Runtime(machine))
+
+
+def send_recv_body(payload="hello", nbytes=64):
+    def body(task, tid):
+        if tid == 0:
+            yield from task.send(1, payload, nbytes=nbytes)
+            return None
+        got = yield from task.recv(0)
+        return got
+    return body
+
+
+def test_total_loss_exhausts_retry_budget():
+    pvm = make_pvm({
+        "events": [{"t_us": 0, "kind": "pvm_loss", "p": 1.0}],
+        "pvm": {"timeout_us": 10, "max_retries": 2, "backoff": 2.0}})
+    with pytest.raises(TaskFailedError,
+                       match="after 3 attempts.*budget exhausted"):
+        pvm.run_tasks(2, send_recv_body(), Placement.UNIFORM)
+    tracer = pvm.machine.tracer
+    assert tracer.count("pvm.lost") == 3      # every attempt was dropped
+    assert tracer.count("pvm.retry") == 2     # max_retries retransmissions
+    assert tracer.count("pvm.timeout") == 3   # waited after each attempt
+
+
+def test_backoff_grows_exponentially():
+    from repro.sim import Tracer
+    plan = plan_from_dict({
+        "events": [{"t_us": 0, "kind": "pvm_loss", "p": 1.0}],
+        "pvm": {"timeout_us": 10, "max_retries": 2, "backoff": 2.0}})
+    with use_faults(plan):
+        machine = Machine(spp1000(2), tracer=Tracer(enabled=True))
+    pvm = PvmSystem(Runtime(machine))
+    with pytest.raises(TaskFailedError):
+        pvm.run_tasks(2, send_recv_body(), Placement.UNIFORM)
+    stamps = [r.time for r in machine.tracer.select("pvm.timeout")]
+    assert len(stamps) == 3
+    gap1, gap2 = stamps[1] - stamps[0], stamps[2] - stamps[1]
+    # waits are 10 us, then 20 us (plus the retransmission's wire work)
+    assert gap1 >= 10_000.0
+    assert gap2 >= 20_000.0
+    assert gap2 > gap1
+
+
+def delayed_send_body(payload):
+    """Sender's first delivery attempt lands ~150-160 us in (thread
+    startup + 100 us of compute + pack work), safely inside a loss
+    window ending at 400 us; the 400 us retry timeout then pushes the
+    retransmission safely past recovery."""
+    def body(task, tid):
+        if tid == 0:
+            yield task.env.compute(10_000)  # 100 us
+            yield from task.send(1, payload, nbytes=64)
+            return None
+        got = yield from task.recv(0)
+        return got
+    return body
+
+
+def test_loss_window_then_recovery_delivers_on_retry():
+    pvm = make_pvm({
+        "events": [{"t_us": 0, "kind": "pvm_loss", "p": 1.0},
+                   {"t_us": 400, "kind": "pvm_loss", "p": 0.0}],
+        "pvm": {"timeout_us": 400, "max_retries": 4, "backoff": 2.0}})
+    results = pvm.run_tasks(2, delayed_send_body("survivor"),
+                            Placement.UNIFORM)
+    assert results[1] == "survivor"
+    tracer = pvm.machine.tracer
+    assert tracer.count("pvm.lost") == 1
+    assert tracer.count("pvm.retry") == 1
+    assert tracer.count("pvm.dup_drop") == 0
+
+
+def test_ack_loss_triggers_duplicate_suppression():
+    pvm = make_pvm({
+        "events": [{"t_us": 0, "kind": "pvm_loss", "ack_loss_p": 1.0},
+                   {"t_us": 400, "kind": "pvm_loss", "p": 0.0}],
+        "pvm": {"timeout_us": 400, "max_retries": 4, "backoff": 2.0}})
+    results = pvm.run_tasks(2, delayed_send_body("once only"),
+                            Placement.UNIFORM)
+    # delivered on the first attempt; the retransmission was dropped as a
+    # duplicate, so the receiver saw the payload exactly once
+    assert results[1] == "once only"
+    tracer = pvm.machine.tracer
+    assert tracer.count("pvm.dup_drop") == 1
+    assert tracer.count("pvm.retry") == 1
+    receiver = pvm.task(1)
+    assert receiver.received_messages == 1
+    assert receiver.mailbox == []
+
+
+def test_unreachable_peer_raises_task_failed():
+    pvm = make_pvm({
+        "events": [{"t_us": 0, "kind": "hypernode_fail", "hypernode": 1}]})
+    with pytest.raises(TaskFailedError, match="unreachable"):
+        # uniform placement puts task 1 on the failed hypernode
+        pvm.run_tasks(2, send_recv_body(), Placement.UNIFORM)
+    assert pvm.machine.tracer.count("pvm.unreachable") == 1
+
+
+def test_sends_without_a_plan_use_the_plain_path():
+    machine = Machine(spp1000(2))
+    pvm = PvmSystem(Runtime(machine))
+    results = pvm.run_tasks(2, send_recv_body("plain"), Placement.UNIFORM)
+    assert results[1] == "plain"
+    assert machine.faults is None
+    assert machine.tracer.count("pvm.retry") == 0

@@ -1,0 +1,104 @@
+"""Tests for the simulated-time watchdog: deadlock reports and stalls.
+
+Scenario: four threads iterate compute + barrier; one CPU fails mid-run,
+so its thread halts and the other three spin at the barrier forever.
+With nothing else running the event queue drains (a deadlock); with a
+background ticker keeping the machine "alive", the same wedge is a stall.
+Either way the watchdog's report must name the barrier and the dead CPU.
+"""
+
+import pytest
+
+from repro.core import spp1000
+from repro.faults import StallError, plan_from_dict, use_faults
+from repro.machine import Machine
+from repro.runtime import Barrier, Runtime
+from repro.sim import DeadlockError
+
+
+def wedged_machine(watchdog):
+    plan = plan_from_dict({
+        "events": [{"t_us": 5, "kind": "cpu_fail", "cpu": 1}],
+        "watchdog": watchdog}, spp1000(1))
+    with use_faults(plan):
+        machine = Machine(spp1000(1))
+    return machine
+
+
+def run_wedged_barrier(machine):
+    runtime = Runtime(machine)
+    barrier = Barrier(runtime, 4)
+
+    def body(env, tid):
+        for _round in range(50):
+            yield env.compute(1000)  # 10 us
+            yield from barrier.wait(env)
+
+    def main(env):
+        yield from env.fork_join(4, body)
+
+    runtime.run(main)
+
+
+def test_drained_queue_becomes_diagnostic_deadlock():
+    machine = wedged_machine({"interval_us": 50, "timeout_us": 100000})
+    with pytest.raises(DeadlockError) as ei:
+        run_wedged_barrier(machine)
+    err = ei.value
+    assert "waiters blocked" in str(err)
+    assert err.now is not None and err.now > 0
+    assert err.pending is not None and err.pending > 0
+    assert err.report is not None
+    assert "barrier@" in err.report       # who is wedged, and on what
+    assert "cpu 1: halted" in err.report  # the root cause
+    assert "last progress at" in err.report
+
+
+def test_stall_detected_while_machine_still_runs():
+    machine = wedged_machine({"interval_us": 50, "timeout_us": 200})
+
+    def ticker():
+        for _ in range(100):
+            yield machine.sim.timeout(10_000.0)
+
+    machine.sim.process(ticker())
+    with pytest.raises(StallError) as ei:
+        run_wedged_barrier(machine)
+    err = ei.value
+    assert "stall" in str(err)
+    assert "watchdog timeout 200.000 us" in str(err)
+    assert "barrier@" in err.report
+    assert "cpu 1: halted" in err.report
+    # raised well before the ticker ran out: a stall, not a drained queue
+    assert err.now < 1_000_000.0
+
+
+def test_watchdog_stands_down_when_workload_finishes():
+    plan = plan_from_dict({"watchdog": {"interval_us": 50,
+                                        "timeout_us": 200}})
+    with use_faults(plan):
+        machine = Machine(spp1000(1))
+    runtime = Runtime(machine)
+
+    def main(env):
+        yield env.compute(1000)
+        return "done"
+
+    assert runtime.run(main) == "done"
+    machine.sim.run()  # drain: the checker must exit cleanly
+
+
+def test_block_clear_and_report():
+    plan = plan_from_dict({"watchdog": {"interval_us": 50,
+                                        "timeout_us": 200}})
+    with use_faults(plan):
+        machine = Machine(spp1000(1))
+    wd = machine.watchdog
+    token = wd.block("cpu 3", "spin", "lock@0x40")
+    assert wd.blocked_count == 1
+    report = wd.report()
+    assert "cpu 3: spin on lock@0x40" in report
+    wd.clear(token)
+    assert wd.blocked_count == 0
+    assert wd.report() == "no blocked waiters registered"
+    wd.clear(token)  # double clear is harmless

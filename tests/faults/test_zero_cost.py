@@ -1,0 +1,53 @@
+"""The fault layer must be zero-cost when inactive.
+
+Two contracts:
+
+* no plan attached — ``machine.faults`` is ``None`` and every operation
+  pays exactly one ``is None`` check;
+* an *empty* plan attached — the fault machinery is wired up but
+  schedules nothing, consults no RNG, and must produce **bit-identical**
+  timings to the no-plan run.
+"""
+
+from repro.core import spp1000
+from repro.experiments.fig3_barrier import barrier_metrics_us
+from repro.experiments.fig4_message import round_trip_us
+from repro.faults import FaultPlan, ring_loss_plan, use_faults
+from repro.machine import Machine
+from repro.runtime import Placement
+
+
+def test_empty_plan_schedules_nothing():
+    with use_faults(FaultPlan()):
+        machine = Machine(spp1000(2))
+    assert machine.faults is not None
+    assert not machine.sim._queue          # no pending fault callbacks
+    assert machine.watchdog is None        # no policy => no checker
+
+
+def test_barrier_metrics_bit_identical_under_empty_plan():
+    base = barrier_metrics_us(4, Placement.UNIFORM, spp1000(2), rounds=2)
+    with use_faults(FaultPlan()):
+        faulted = barrier_metrics_us(4, Placement.UNIFORM, spp1000(2),
+                                     rounds=2)
+    assert faulted == base
+
+
+def test_round_trip_bit_identical_under_empty_plan():
+    base = round_trip_us(4096, Placement.UNIFORM, spp1000(2), repeats=2)
+    with use_faults(FaultPlan()):
+        faulted = round_trip_us(4096, Placement.UNIFORM, spp1000(2),
+                                repeats=2)
+    assert faulted == base
+
+
+def test_masking_an_ambient_plan_restores_baseline():
+    base = round_trip_us(4096, Placement.UNIFORM, spp1000(2), repeats=2)
+    with use_faults(ring_loss_plan(2)):
+        degraded = round_trip_us(4096, Placement.UNIFORM, spp1000(2),
+                                 repeats=2)
+        with use_faults(None):
+            masked = round_trip_us(4096, Placement.UNIFORM, spp1000(2),
+                                   repeats=2)
+    assert masked == base
+    assert degraded > base

@@ -1,0 +1,61 @@
+"""Tests for DeadlockError diagnostics and live-process accounting."""
+
+import pytest
+
+from repro.sim import DeadlockError, Simulator
+
+
+def test_deadlock_error_carries_context():
+    sim = Simulator()
+    never = sim.event()
+
+    def waiter():
+        yield never
+
+    sim.process(waiter())
+    with pytest.raises(DeadlockError) as ei:
+        sim.run(until=never)
+    err = ei.value
+    assert err.now == 0.0
+    assert err.pending == 1
+    assert "1 live process(es)" in str(err)
+
+
+def test_plain_deadlock_error_still_works():
+    err = DeadlockError("deadlock")
+    assert str(err) == "deadlock"
+    assert err.now is None and err.pending is None and err.report is None
+
+
+def test_report_is_appended_to_message():
+    err = DeadlockError("wedged", now=1500.0, pending=3,
+                        report="3 blocked waiter(s)")
+    text = str(err)
+    assert "wedged at t=1.500 us with 3 live process(es)" in text
+    assert text.endswith("3 blocked waiter(s)")
+
+
+def test_alive_processes_tracks_completion():
+    sim = Simulator()
+    assert sim.alive_processes == 0
+
+    def worker():
+        yield sim.timeout(10.0)
+
+    proc = sim.process(worker())
+    assert sim.alive_processes == 1
+    sim.run(until=proc)
+    assert sim.alive_processes == 0
+
+
+def test_alive_processes_decrements_on_failure():
+    sim = Simulator()
+
+    def doomed():
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    sim.process(doomed())
+    with pytest.raises(RuntimeError):
+        sim.run()
+    assert sim.alive_processes == 0

@@ -107,3 +107,62 @@ def test_timeline_from_trace_file(tmp_path, capsys):
     assert main(["timeline", "--trace", str(trace)]) == 0
     out = capsys.readouterr().out
     assert "spans:" in out
+
+
+def test_run_prefix_is_accepted(capsys):
+    assert main(["run", "list"]) == 0
+    assert "fig3" in capsys.readouterr().out
+
+
+def test_parser_has_robustness_flags():
+    from repro.cli import build_parser
+
+    text = build_parser().format_help()
+    for flag in ("--faults", "--checkpoint", "--resume"):
+        assert flag in text
+
+
+def test_resume_requires_checkpoint(capsys):
+    assert main(["degraded", "--resume"]) == 2
+    assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+def test_missing_fault_plan_fails_cleanly(capsys):
+    assert main(["degraded", "--faults", "/nonexistent/plan.json"]) == 2
+    assert "cannot read fault plan" in capsys.readouterr().err
+
+
+def test_invalid_fault_plan_lists_problems(tmp_path, capsys):
+    plan = tmp_path / "bad.json"
+    plan.write_text('{"events": [{"t_us": 0, "kind": "ring_fail",'
+                    ' "ring": 9}], "bogus": 1}')
+    assert main(["degraded", "--faults", str(plan)]) == 2
+    err = capsys.readouterr().err
+    assert "invalid fault plan" in err
+    assert "ring 9 out of range" in err
+    assert "bogus" in err
+
+
+def test_corrupt_checkpoint_fails_cleanly(tmp_path, capsys):
+    ck = tmp_path / "ck.json"
+    ck.write_text("{broken")
+    assert main(["degraded", "--checkpoint", str(ck), "--resume"]) == 2
+    assert "cannot resume" in capsys.readouterr().err
+
+
+def test_checkpoint_note_for_unsupported_experiment(tmp_path, capsys):
+    ck = tmp_path / "ck.json"
+    assert main(["table2", "--checkpoint", str(ck)]) == 0
+    captured = capsys.readouterr()
+    assert "does not support checkpointing" in captured.err
+    assert "Table 2" in captured.out
+
+
+def test_metrics_directory_output(tmp_path, capsys):
+    import json
+
+    out_dir = tmp_path / "out"
+    assert main(["fig2", "--quick", "--metrics",
+                 str(out_dir) + "/"]) == 0
+    manifest = json.loads((out_dir / "metrics.json").read_text())
+    assert manifest["experiment"]["id"] == "fig2"

@@ -30,3 +30,47 @@ def test_render(rows):
     assert "ratio" in text
     assert "fork-join" in text
     assert "NO" not in text
+
+
+# ---------------------------------------------------------------------------
+# fault-plan file validation
+# ---------------------------------------------------------------------------
+
+def test_fault_plan_example_file_is_valid():
+    import os
+
+    from repro.tools import validate_fault_plan
+
+    example = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                           "examples", "faults", "ring_loss.json")
+    assert validate_fault_plan(example) == []
+
+
+def test_fault_plan_missing_file_is_reported_not_raised(tmp_path):
+    from repro.tools import validate_fault_plan
+
+    [err] = validate_fault_plan(str(tmp_path / "absent.json"))
+    assert "cannot read" in err
+
+
+def test_fault_plan_bad_json_is_reported(tmp_path):
+    from repro.tools import validate_fault_plan
+
+    path = tmp_path / "broken.json"
+    path.write_text("{]")
+    [err] = validate_fault_plan(str(path))
+    assert "not valid JSON" in err
+
+
+def test_fault_plan_semantic_errors_are_actionable(tmp_path):
+    import json
+
+    from repro.tools import validate_fault_plan
+
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps({
+        "events": [{"t_us": 0, "kind": "ring_fail", "ring": 9}],
+        "pvm": {"timeout_us": -5}}))
+    errs = validate_fault_plan(str(path))
+    assert any("ring 9 out of range" in e for e in errs)
+    assert any("timeout_us" in e for e in errs)
