@@ -5,6 +5,9 @@ Examples::
     python -m repro list                      # show available experiments
     python -m repro fig4                      # regenerate Figure 4
     python -m repro all                       # regenerate everything (slow)
+    python -m repro scale128 --jobs 4         # fan the sweep out to 4 procs
+    python -m repro fig7 --cache-stats        # show result-cache hit rates
+    python -m repro bench --quick --jobs 2    # serial/parallel/cached bench
     python -m repro fig3 --trace t.json       # capture a Perfetto trace
     python -m repro fig3 --metrics m.json     # write a metrics manifest
     python -m repro fig6 --profile            # print counter/span profile
@@ -31,7 +34,8 @@ def build_parser() -> argparse.ArgumentParser:
                      "simulated machine."))
     parser.add_argument(
         "experiment",
-        help="experiment id (fig2, fig3, ...), 'list', 'all', or "
+        help="experiment id (fig2, fig3, ...), 'list', 'all', 'bench' "
+             "(serial vs parallel vs cached wall-clock benchmark), or "
              "'timeline' (ASCII Gantt view of a trace)")
     parser.add_argument(
         "--hypernodes", type=int, default=2,
@@ -69,6 +73,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="with --checkpoint: skip points already recorded in the "
              "checkpoint file")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for unit-aware experiments (default: 1, "
+             "serial in-process; 'bench' defaults to 2)")
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR, else "
+             "$XDG_CACHE_HOME/repro, else ~/.cache/repro)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed result cache for this run")
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print an execution summary (units, cache hits, workers) "
+             "after each experiment")
+    parser.add_argument(
+        "--bench-out", metavar="PATH", default="BENCH_exec.json",
+        help="with 'bench': where to write the benchmark JSON "
+             "(default: BENCH_exec.json)")
+    parser.add_argument(
+        "--bench-experiments", metavar="IDS", default=None,
+        help="with 'bench': comma-separated experiment ids to benchmark "
+             "(default: every unit-aware experiment)")
     return parser
 
 
@@ -167,20 +194,35 @@ def _timeline(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # ``repro run <experiment>`` reads naturally in scripts/CI; the
-    # leading word is optional noise to the parser.
+    # leading word is optional noise to the parser.  ``repro --list``
+    # is a common muscle-memory spelling of ``repro list``.
     if argv and argv[0] == "run":
         argv = argv[1:]
+    if argv and argv[0] == "--list":
+        argv = ["list"] + argv[1:]
     args = build_parser().parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        print(f"--jobs must be >= 1 (got {args.jobs}): use --jobs 1 for a "
+              "serial run or --jobs N to fan work units out to N worker "
+              "processes", file=sys.stderr)
+        return 2
     if args.seed is not None:
         _seed_rngs(args.seed)
+    config = spp1000(n_hypernodes=args.hypernodes)
     if args.experiment == "list":
+        from .exec import unit_count
+
         for exp_id, title in list_experiments().items():
-            print(f"{exp_id:10s} {title}")
+            count = unit_count(exp_id, config, quick=args.quick)
+            units = (f"{count:3d} units" if count is not None
+                     else "in-process")
+            print(f"{exp_id:10s} {units:>10s}  {title}")
         return 0
     if args.experiment == "timeline":
         return _timeline(args)
+    if args.experiment == "bench":
+        return _bench(args, config)
 
-    config = spp1000(n_hypernodes=args.hypernodes)
     targets = (list(list_experiments()) if args.experiment == "all"
                else [args.experiment])
     if args.experiment != "all" and args.experiment not in list_experiments():
@@ -228,11 +270,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"output directory does not exist: {parent}",
                       file=sys.stderr)
                 return 2
+    from .exec import has_units
+
+    jobs = args.jobs or 1
+    cache = _build_cache(args)
     for exp_id in targets:
+        fabric = has_units(exp_id)
+        report = None
         kwargs = {"config": config}
         if args.quick:
             kwargs["quick"] = True
-        if checkpoint is not None:
+        if checkpoint is not None and not fabric:
             import inspect
 
             from .experiments import get_experiment
@@ -244,6 +292,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"note: experiment {exp_id!r} does not support "
                       "checkpointing; --checkpoint ignored",
                       file=sys.stderr)
+        if not fabric and jobs > 1:
+            print(f"note: experiment {exp_id!r} has no work-unit planner; "
+                  "running in-process (--jobs ignored)", file=sys.stderr)
         if fault_plan is not None:
             from .faults import use_faults
 
@@ -252,14 +303,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             from contextlib import nullcontext
 
             faults_ctx = nullcontext()
+
+        def run_target():
+            if fabric:
+                from .exec import execute
+
+                result, rep = execute(
+                    exp_id, config, jobs=jobs, quick=args.quick,
+                    cache=cache, checkpoint=checkpoint,
+                    fault_plan=fault_plan, seed=args.seed,
+                    observed=observing)
+                return result, rep
+            return _run(exp_id, **kwargs), None
+
         if observing:
-            from .obs import (build_manifest, use_tracer,
-                              write_chrome_trace, write_metrics)
+            from .obs import (use_tracer, write_chrome_trace,
+                              write_metrics)
             from .sim import Tracer
 
             tracer = Tracer(enabled=True)
             with use_tracer(tracer), faults_ctx:
-                result = _run(exp_id, **kwargs)
+                result, report = run_target()
             print(result.render())
             if args.profile:
                 print()
@@ -271,13 +335,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.metrics:
                 path = _suffixed(args.metrics, exp_id, multi)
                 write_metrics(
-                    result.manifest(config=config, tracer=tracer), path)
+                    result.manifest(
+                        config=config, tracer=tracer,
+                        execution=report.to_dict() if report else None),
+                    path)
                 print(f"metrics manifest written to {path}")
         else:
             with faults_ctx:
-                result = _run(exp_id, **kwargs)
+                result, report = run_target()
             print(result.render())
+        if args.cache_stats:
+            print()
+            print(report.render() if report is not None
+                  else f"[exec {exp_id}] ran in-process (no work-unit "
+                       "planner); no cache involved")
         print()
+    return 0
+
+
+def _build_cache(args):
+    """The result cache implied by ``--cache-dir``/``--no-cache``."""
+    if args.no_cache:
+        return None
+    from .exec import ResultCache, code_fingerprint, default_cache_root
+
+    return ResultCache(args.cache_dir or default_cache_root(),
+                       code_fingerprint())
+
+
+def _bench(args, config) -> int:
+    """``python -m repro bench``: the serial/parallel/cached trajectory."""
+    from .exec.bench import render_bench, run_bench, write_bench
+
+    jobs = args.jobs if args.jobs is not None else 2
+    only = (args.bench_experiments.split(",")
+            if args.bench_experiments else None)
+    doc = run_bench(config, jobs=jobs, quick=args.quick,
+                    experiment_ids=only)
+    print(render_bench(doc))
+    write_bench(doc, args.bench_out)
+    print(f"\nbenchmark written to {args.bench_out}")
     return 0
 
 

@@ -1,5 +1,6 @@
 """Core utilities: machine configuration, units, metrics, methodology, tables."""
 
+from .canon import canonical, canonical_json, config_dict, stable_hash
 from .config import MachineConfig, spp1000
 from .metrics import ScalingCurve, ScalingPoint, efficiency, mflops, speedup
 from .stats import Measurement, corrected, summarize
@@ -8,6 +9,7 @@ from . import units
 
 __all__ = [
     "MachineConfig", "spp1000",
+    "canonical", "canonical_json", "config_dict", "stable_hash",
     "mflops", "speedup", "efficiency", "ScalingPoint", "ScalingCurve",
     "Measurement", "corrected", "summarize",
     "Table", "Series", "render_series",

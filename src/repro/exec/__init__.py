@@ -1,0 +1,194 @@
+"""repro.exec — the parallel experiment execution fabric.
+
+Every experiment sweep in the reproduction is embarrassingly parallel:
+each point is a deterministic function of its parameters, the machine
+configuration, and (optionally) a fault plan and seed.  This package
+exploits that three ways:
+
+* :mod:`repro.exec.units` — a work-graph **planner**: registered
+  experiments decompose into independent, hashable work units, one per
+  ``(experiment_id, point-config)``;
+* :mod:`repro.exec.pool` — a **worker pool** (``--jobs N``) with
+  deterministic result merging and graceful in-process retry when a
+  worker crashes;
+* :mod:`repro.exec.cache` — a **content-addressed result cache** keyed
+  by canonical unit config + machine parameters + a code fingerprint
+  (:mod:`repro.exec.fingerprint`), so re-runs are incremental;
+* :mod:`repro.exec.bench` — ``python -m repro bench``: the wall-clock
+  serial/parallel/cached trajectory, written to ``BENCH_exec.json``.
+
+:func:`execute` ties them together: plan units, satisfy them from the
+checkpoint and the cache, fan the rest out to the pool, then hand the
+experiment's ``run()`` a :class:`~repro.exec.units.PointStore` so it
+assembles its tables and series without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Dict, Optional
+
+from .cache import CACHE_SCHEMA, ResultCache, default_cache_root
+from .fingerprint import clear_fingerprint_cache, code_fingerprint
+from .pool import PoolStats, WorkerPool
+from .units import (
+    PointStore,
+    WorkUnit,
+    has_units,
+    plan_units,
+    register_units,
+    run_unit,
+    unit_count,
+    unit_experiments,
+)
+
+__all__ = [
+    "WorkUnit", "register_units", "has_units", "plan_units", "unit_count",
+    "run_unit", "unit_experiments", "PointStore",
+    "WorkerPool", "PoolStats",
+    "ResultCache", "default_cache_root", "CACHE_SCHEMA",
+    "code_fingerprint", "clear_fingerprint_cache",
+    "ExecutionReport", "execute",
+]
+
+
+class ExecutionReport:
+    """What the fabric did for one experiment run."""
+
+    def __init__(self, experiment_id: str, jobs: int):
+        self.experiment_id = experiment_id
+        self.jobs = jobs
+        self.units_planned = 0
+        self.from_checkpoint = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stores = 0
+        self.computed = 0
+        self.retried_in_process = 0
+        self.fallback_points = 0     #: run() points outside the plan
+        self.wall_seconds = 0.0
+        self.cache_root: Optional[str] = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "jobs": self.jobs,
+            "units_planned": self.units_planned,
+            "from_checkpoint": self.from_checkpoint,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
+            "cache_hit_rate": self.cache_hit_rate,
+            "computed": self.computed,
+            "retried_in_process": self.retried_in_process,
+            "fallback_points": self.fallback_points,
+            "wall_seconds": self.wall_seconds,
+            "cache_root": self.cache_root,
+        }
+
+    def render(self) -> str:
+        """One human line for ``--cache-stats``."""
+        parts = [f"{self.units_planned} units",
+                 f"{self.computed} computed ({self.jobs} jobs)"]
+        if self.cache_hits or self.cache_misses or self.cache_stores:
+            cache = (f"cache {self.cache_hits} hits / "
+                     f"{self.cache_misses} misses "
+                     f"({self.cache_hit_rate:.0%} hit rate)")
+            if self.cache_stores:
+                cache += f", {self.cache_stores} stored"
+            parts.append(cache)
+        if self.from_checkpoint:
+            parts.append(f"{self.from_checkpoint} from checkpoint")
+        if self.retried_in_process:
+            parts.append(f"{self.retried_in_process} retried in-process")
+        parts.append(f"{self.wall_seconds:.2f}s wall")
+        return f"[exec {self.experiment_id}] " + ", ".join(parts)
+
+
+def execute(experiment_id: str, config, *, jobs: int = 1,
+            quick: bool = False, cache: Optional[ResultCache] = None,
+            checkpoint=None, fault_plan=None, seed: Optional[int] = None,
+            observed: bool = False):
+    """Run one experiment through the fabric.
+
+    Returns ``(ExperimentResult, ExecutionReport)``.  ``observed=True``
+    (the CLI's ``--trace``/``--metrics``/``--profile`` modes) forces
+    every unit to execute in this process under the ambient tracer and
+    skips cache *reads* — a trace of a run that simulated nothing would
+    be empty — while still warming the cache with what it computes.
+    """
+    from ..experiments import get_experiment
+
+    t0 = time.perf_counter()
+    report = ExecutionReport(experiment_id, jobs)
+    if cache is not None:
+        report.cache_root = cache.root
+
+    units = plan_units(experiment_id, config, quick=quick)
+    report.units_planned = len(units)
+
+    if checkpoint is not None:
+        checkpoint.bind(experiment_id)
+
+    values: Dict[str, object] = {}
+    remaining = []
+    digests: Dict[str, str] = {}
+    from_cache: Dict[str, object] = {}
+    for unit in units:
+        if checkpoint is not None and unit.key in checkpoint.points:
+            values[unit.key] = checkpoint.points[unit.key]
+            report.from_checkpoint += 1
+            continue
+        if cache is not None:
+            digest = cache.digest(unit, config, fault_plan, seed)
+            digests[unit.key] = digest
+            if not observed:
+                try:
+                    values[unit.key] = from_cache[unit.key] = \
+                        cache.get(digest)
+                    report.cache_hits += 1
+                    continue
+                except KeyError:
+                    report.cache_misses += 1
+        remaining.append(unit)
+    if checkpoint is not None and from_cache:
+        # fold cache hits into the checkpoint so a later --resume
+        # without the cache still skips them
+        checkpoint.put_many(from_cache)
+
+    if remaining:
+        pool = WorkerPool(1 if observed else jobs)
+        stats = PoolStats(pool.jobs)
+
+        def record(unit, value):
+            if cache is not None:
+                cache.put(digests.get(unit.key) or cache.digest(
+                    unit, config, fault_plan, seed), value, unit)
+                report.cache_stores += 1
+            if checkpoint is not None:
+                checkpoint.put(unit.key, value)
+
+        computed = pool.map_units(remaining, config, fault_plan=fault_plan,
+                                  seed=seed, stats=stats, on_unit=record)
+        values.update(computed)
+        report.computed = stats.executed
+        report.retried_in_process = stats.retried_in_process
+
+    store = PointStore(values, checkpoint=checkpoint)
+    fn = get_experiment(experiment_id)
+    accepted = inspect.signature(fn).parameters
+    kwargs = {"checkpoint": store}
+    if "config" in accepted:
+        kwargs["config"] = config
+    if quick and "quick" in accepted:
+        kwargs["quick"] = True
+    result = fn(**kwargs)
+    report.fallback_points = store.computed
+    report.wall_seconds = time.perf_counter() - t0
+    return result, report

@@ -1,0 +1,137 @@
+"""``python -m repro bench`` — the wall-clock execution trajectory.
+
+Times every unit-aware experiment three ways — serial (cold, no
+cache), parallel (``--jobs N``, cold cache), and warm-cache — and
+writes the measurements to ``BENCH_exec.json``.  CI runs this on every
+push and uploads the file as an artifact, giving the repository a
+measured performance trajectory over time (the machine-characterisation
+discipline the paper applies to the SPP-1000, turned on ourselves).
+
+Schema (``BENCH_SCHEMA`` = 1)::
+
+    {
+      "schema_version": 1,
+      "generator": "repro.exec.bench",
+      "jobs": 2, "quick": true,
+      "host": {"cpu_count": 4, "python": "3.12.1", "platform": "linux"},
+      "code_fingerprint": "3f62…",
+      "experiments": {
+        "fig2": {"units": 18,
+                 "serial_s": 0.51, "parallel_s": 0.31, "cached_s": 0.02,
+                 "speedup": 1.65, "cached_speedup": 25.5,
+                 "cache_hit_rate": 1.0, "identical": true},
+        ...
+      },
+      "totals": {"serial_s": ..., "parallel_s": ..., "cached_s": ...,
+                 "speedup": ..., "cached_speedup": ...}
+    }
+
+``identical`` asserts the bit-identity contract: the parallel and
+warm-cache results canonically equal the serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from ..core.canon import canonical_json
+from ..core.tables import Table
+from . import ResultCache, execute, unit_experiments
+from .fingerprint import code_fingerprint
+
+__all__ = ["BENCH_SCHEMA", "run_bench", "write_bench", "render_bench"]
+
+BENCH_SCHEMA = 1
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def run_bench(config, *, jobs: int = 2, quick: bool = False,
+              experiment_ids: Optional[List[str]] = None) -> Dict:
+    """Measure serial/parallel/cached wall time per experiment."""
+    targets = list(experiment_ids or unit_experiments())
+    experiments: Dict[str, Dict] = {}
+    totals = {"serial_s": 0.0, "parallel_s": 0.0, "cached_s": 0.0}
+    for exp_id in targets:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            cache = ResultCache(tmp)
+            (serial, _), serial_s = _timed(
+                lambda: execute(exp_id, config, jobs=1, quick=quick))
+            (parallel, prep), parallel_s = _timed(
+                lambda: execute(exp_id, config, jobs=jobs, quick=quick,
+                                cache=cache))
+            (cached, crep), cached_s = _timed(
+                lambda: execute(exp_id, config, jobs=jobs, quick=quick,
+                                cache=cache))
+            identical = (
+                canonical_json(serial.data) == canonical_json(parallel.data)
+                == canonical_json(cached.data))
+            experiments[exp_id] = {
+                "units": prep.units_planned,
+                "serial_s": round(serial_s, 4),
+                "parallel_s": round(parallel_s, 4),
+                "cached_s": round(cached_s, 4),
+                "speedup": round(serial_s / parallel_s, 3),
+                "cached_speedup": round(serial_s / cached_s, 3),
+                "cache_hit_rate": round(crep.cache_hit_rate, 4),
+                "units_resimulated_warm": crep.computed,
+                "identical": identical,
+            }
+            totals["serial_s"] += serial_s
+            totals["parallel_s"] += parallel_s
+            totals["cached_s"] += cached_s
+    doc = {
+        "schema_version": BENCH_SCHEMA,
+        "generator": "repro.exec.bench",
+        "jobs": jobs,
+        "quick": quick,
+        "host": {"cpu_count": os.cpu_count(),
+                 "python": sys.version.split()[0],
+                 "platform": sys.platform},
+        "code_fingerprint": code_fingerprint()[:16],
+        "experiments": experiments,
+        "totals": {
+            "serial_s": round(totals["serial_s"], 4),
+            "parallel_s": round(totals["parallel_s"], 4),
+            "cached_s": round(totals["cached_s"], 4),
+            "speedup": round(totals["serial_s"]
+                             / max(totals["parallel_s"], 1e-9), 3),
+            "cached_speedup": round(totals["serial_s"]
+                                    / max(totals["cached_s"], 1e-9), 3),
+        },
+    }
+    return doc
+
+
+def write_bench(doc: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def render_bench(doc: Dict) -> str:
+    table = Table(
+        f"Execution trajectory ({doc['jobs']} jobs, "
+        f"{doc['host']['cpu_count']} CPUs)",
+        ["experiment", "units", "serial s", "parallel s", "cached s",
+         "speedup", "hit rate", "identical"])
+    for exp_id, row in doc["experiments"].items():
+        table.add_row(exp_id, row["units"], f"{row['serial_s']:.3f}",
+                      f"{row['parallel_s']:.3f}", f"{row['cached_s']:.3f}",
+                      f"{row['speedup']:.2f}x",
+                      f"{row['cache_hit_rate']:.0%}",
+                      "yes" if row["identical"] else "NO")
+    totals = doc["totals"]
+    table.add_row("TOTAL", "", f"{totals['serial_s']:.3f}",
+                  f"{totals['parallel_s']:.3f}", f"{totals['cached_s']:.3f}",
+                  f"{totals['speedup']:.2f}x", "", "")
+    return table.render()

@@ -1,0 +1,170 @@
+"""Content-addressed on-disk cache of work-unit results.
+
+Each completed work unit is stored under the SHA-256 of its **key
+material**: the canonical JSON (see :mod:`repro.core.canon`) of
+
+* the unit itself (experiment id, point key, parameters),
+* the full machine configuration,
+* the ambient fault plan (or null),
+* the RNG seed (or null),
+* the package code fingerprint, and
+* the cache schema version.
+
+Anything that could change a unit's value changes its address, so the
+cache never needs explicit invalidation — stale entries are simply
+never addressed again (``prune`` exists to reclaim the disk they use).
+
+Layout: ``<root>/objects/<aa>/<digest>.json``, each file a small JSON
+document holding the value and enough metadata to audit it.  Writes are
+atomic (temp file + ``os.replace``); a corrupt or truncated entry reads
+as a miss and is removed.  The default root is ``$REPRO_CACHE_DIR``,
+else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from ..core.canon import canonical, canonical_json
+from .fingerprint import code_fingerprint
+from .units import WorkUnit
+
+__all__ = ["ResultCache", "default_cache_root", "CACHE_SCHEMA"]
+
+CACHE_SCHEMA = 1
+
+_MISS = object()
+
+
+def default_cache_root() -> str:
+    """``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return explicit
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+class ResultCache:
+    """Content-addressed store of unit values, with hit/miss accounting."""
+
+    def __init__(self, root: Optional[str] = None,
+                 fingerprint: Optional[str] = None):
+        self.root = os.path.abspath(root or default_cache_root())
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- addressing -----------------------------------------------------
+
+    def key_material(self, unit: WorkUnit, config, fault_plan=None,
+                     seed: Optional[int] = None) -> Dict:
+        """Everything a unit's value depends on, in canonical form."""
+        return {
+            "schema": CACHE_SCHEMA,
+            "unit": unit.material(),
+            "machine": canonical(config),
+            "faults": (canonical(fault_plan.to_dict())
+                       if fault_plan is not None else None),
+            "seed": seed,
+            "code": self.fingerprint,
+        }
+
+    def digest(self, unit: WorkUnit, config, fault_plan=None,
+               seed: Optional[int] = None) -> str:
+        material = self.key_material(unit, config, fault_plan, seed)
+        return hashlib.sha256(
+            canonical_json(material).encode("ascii")).hexdigest()
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, "objects", digest[:2],
+                            f"{digest}.json")
+
+    # -- storage --------------------------------------------------------
+
+    def get(self, digest: str):
+        """The cached value for ``digest``, or raise :class:`KeyError`."""
+        path = self._path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry.get("schema") != CACHE_SCHEMA:
+                raise ValueError("schema mismatch")
+            value = entry["value"]
+        except FileNotFoundError:
+            self.misses += 1
+            raise KeyError(digest) from None
+        except (OSError, ValueError, KeyError):
+            # corrupt/truncated/foreign entry: drop it, treat as a miss
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            raise KeyError(digest) from None
+        self.hits += 1
+        return value
+
+    def put(self, digest: str, value, unit: Optional[WorkUnit] = None
+            ) -> None:
+        """Store ``value`` (plain JSON-able data) under ``digest``."""
+        path = self._path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "value": value}
+        if unit is not None:
+            entry["unit"] = {"experiment_id": unit.experiment_id,
+                             "key": unit.key}
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # -- maintenance ----------------------------------------------------
+
+    def entries(self) -> int:
+        """Number of objects currently stored."""
+        objects = os.path.join(self.root, "objects")
+        count = 0
+        for dirpath, _dirnames, filenames in os.walk(objects):
+            count += sum(1 for f in filenames if f.endswith(".json"))
+        return count
+
+    def prune(self) -> int:
+        """Delete every stored object; returns how many were removed."""
+        objects = os.path.join(self.root, "objects")
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(objects):
+            for name in filenames:
+                if name.endswith(".json"):
+                    try:
+                        os.remove(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        lookups = self.hits + self.misses
+        return {
+            "root": self.root,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

@@ -1,0 +1,168 @@
+"""The worker pool: serial or multi-process execution of work units.
+
+``--jobs 1`` (the default) computes units in the calling process, in
+plan order, under whatever ambient contexts (tracer, fault plan) the
+caller installed — byte-for-byte the legacy serial behaviour.
+
+``--jobs N`` fans units out to ``N`` worker processes.  Each worker is
+initialised with the run's fault plan and seed so ``--faults`` and
+``--seed`` runs stay bit-identical to serial (unit runners are pure
+functions of their parameters, the machine configuration, and those two
+ambients).  Results merge into plan order regardless of completion
+order, so output is deterministic.
+
+Crash containment: a unit whose worker dies (or whose pool breaks)
+degrades gracefully — the unit is retried *in this process*, in plan
+order, after the pool is drained.  A unit that fails identically twice
+raises its real exception to the caller instead of a pool internals
+traceback.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Callable, Dict, List, Optional
+
+from .units import WorkUnit, run_unit
+
+__all__ = ["WorkerPool", "PoolStats"]
+
+
+class PoolStats:
+    """Accounting for one :meth:`WorkerPool.map_units` call."""
+
+    def __init__(self, jobs: int):
+        self.jobs = jobs
+        self.executed = 0            #: units computed (anywhere)
+        self.in_workers = 0          #: units computed in worker processes
+        self.retried_in_process = 0  #: worker failures retried serially
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"jobs": self.jobs, "executed": self.executed,
+                "in_workers": self.in_workers,
+                "retried_in_process": self.retried_in_process}
+
+
+# -- worker-process side ----------------------------------------------------
+
+_WORKER: Dict[str, object] = {}
+
+
+def _seed_worker(seed: int) -> None:
+    import random
+
+    random.seed(seed)
+    try:
+        import numpy
+
+        numpy.random.seed(seed)
+    except ImportError:  # pragma: no cover - numpy is a core dependency
+        pass
+
+
+def _worker_init(fault_plan, seed) -> None:
+    """Runs once per worker: mirror the CLI's ambient run state."""
+    _WORKER["fault_plan"] = fault_plan
+    if seed is not None:
+        _seed_worker(seed)
+
+
+def _worker_run(experiment_id: str, key: str, params: Dict, config):
+    from ..faults import use_faults
+
+    plan = _WORKER.get("fault_plan")
+    ctx = use_faults(plan) if plan is not None else nullcontext()
+    with ctx:
+        return key, run_unit(experiment_id, params, config)
+
+
+# -- caller side ------------------------------------------------------------
+
+class WorkerPool:
+    """Executes work units with ``jobs`` worker processes (1 = serial)."""
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def map_units(self, units: List[WorkUnit], config, *,
+                  fault_plan=None, seed: Optional[int] = None,
+                  stats: Optional[PoolStats] = None,
+                  on_unit: Optional[Callable[[WorkUnit, object], None]] = None,
+                  ) -> Dict[str, object]:
+        """Compute every unit; returns ``{unit.key: value}`` in plan order.
+
+        ``on_unit(unit, value)`` fires once per completed unit, in plan
+        order (the cache/checkpoint write hook).
+        """
+        stats = stats if stats is not None else PoolStats(self.jobs)
+        if self.jobs == 1 or len(units) <= 1:
+            values = self._run_serial(units, config, fault_plan, stats)
+        else:
+            values = self._run_parallel(units, config, fault_plan, seed,
+                                        stats)
+        ordered = {u.key: values[u.key] for u in units}
+        if on_unit is not None:
+            for unit in units:
+                on_unit(unit, ordered[unit.key])
+        return ordered
+
+    def _run_serial(self, units, config, fault_plan,
+                    stats) -> Dict[str, object]:
+        ctx = (nullcontext() if fault_plan is None
+               else _faults_ctx(fault_plan))
+        values: Dict[str, object] = {}
+        with ctx:
+            for unit in units:
+                values[unit.key] = run_unit(unit.experiment_id, unit.params,
+                                            config)
+                stats.executed += 1
+        return values
+
+    def _run_parallel(self, units, config, fault_plan, seed,
+                      stats) -> Dict[str, object]:
+        import concurrent.futures as cf
+        import multiprocessing as mp
+
+        method = ("fork" if "fork" in mp.get_all_start_methods()
+                  else "spawn")
+        context = mp.get_context(method)
+        values: Dict[str, object] = {}
+        failed: List[WorkUnit] = []
+        try:
+            with cf.ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(units)),
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=(fault_plan, seed)) as pool:
+                futures = {
+                    pool.submit(_worker_run, u.experiment_id, u.key,
+                                u.params, config): u
+                    for u in units}
+                for future in cf.as_completed(futures):
+                    unit = futures[future]
+                    try:
+                        key, value = future.result()
+                    except Exception:
+                        failed.append(unit)
+                        continue
+                    values[key] = value
+                    stats.executed += 1
+                    stats.in_workers += 1
+        except Exception:
+            # The pool itself failed to start or shut down (e.g. a
+            # broken fork); compute whatever is missing in-process.
+            pass
+        missing = [u for u in units if u.key not in values]
+        if missing:
+            stats.retried_in_process += len(missing)
+            values.update(self._run_serial(missing, config, fault_plan,
+                                           stats))
+        return values
+
+
+def _faults_ctx(fault_plan):
+    from ..faults import use_faults
+
+    return use_faults(fault_plan)

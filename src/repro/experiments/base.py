@@ -13,7 +13,21 @@ from typing import Callable, Dict, List
 from ..core.tables import Series, Table, render_series
 
 __all__ = ["ExperimentResult", "register", "get_experiment",
-           "list_experiments", "run_experiment"]
+           "list_experiments", "run_experiment", "point_runner"]
+
+
+def point_runner(store):
+    """The per-point memoisation hook shared by every sweep experiment.
+
+    ``store`` is anything speaking the checkpoint protocol — a
+    :class:`~repro.experiments.checkpoint.Checkpoint` (``--resume``), a
+    :class:`~repro.exec.units.PointStore` seeded by the execution
+    fabric, or None — and the returned ``point(key, fn)`` either serves
+    the recorded value or computes ``fn()`` in place.
+    """
+    if store is None:
+        return lambda key, fn: fn()
+    return store.point
 
 
 @dataclass
@@ -41,7 +55,7 @@ class ExperimentResult:
         return "\n\n".join(parts)
 
     def manifest(self, *, config=None, tracer=None, phases=None,
-                 extra=None) -> Dict:
+                 execution=None, extra=None) -> Dict:
         """The run's ``metrics.json`` manifest (see :mod:`repro.obs`).
 
         Every experiment gets this for free: headline data from
@@ -52,7 +66,8 @@ class ExperimentResult:
         from ..obs.metrics import build_manifest
 
         return build_manifest(self, config=config, tracer=tracer,
-                              phases=phases, extra=extra)
+                              phases=phases, execution=execution,
+                              extra=extra)
 
 
 _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}

@@ -71,6 +71,18 @@ class Checkpoint:
         self.points[key] = value
         self._save()
 
+    def put_many(self, items: Dict[str, object]) -> None:
+        """Record many completed points with a single atomic save.
+
+        Used by the execution fabric (:mod:`repro.exec`) to fold values
+        served from the result cache into the checkpoint, so a later
+        ``--resume`` without the cache still skips them.
+        """
+        if not items:
+            return
+        self.points.update(items)
+        self._save()
+
     def point(self, key: str, fn: Callable[[], object]):
         """``fn()`` memoised under ``key``: skipped entirely on resume."""
         if key in self.points:

@@ -15,12 +15,15 @@ from typing import Dict, List, Optional
 
 from ..core import MachineConfig, Series, spp1000, summarize
 from ..core.units import to_us
+from ..exec.units import WorkUnit, register_units
 from ..machine import Machine
 from ..pvm import PvmSystem
 from ..runtime import Placement, Runtime
-from .base import ExperimentResult, register
+from .base import ExperimentResult, point_runner, register
 
-__all__ = ["run", "contended_round_trip_us"]
+__all__ = ["run", "contended_round_trip_us", "plan_units"]
+
+MAX_PAIRS = 4
 
 
 def contended_round_trip_us(n_pairs: int, cross_hypernode: bool,
@@ -63,14 +66,38 @@ def contended_round_trip_us(n_pairs: int, cross_hypernode: bool,
     return to_us(summarize(times).mean)
 
 
+def _unit(params, config):
+    """One work unit: per-pair round trip at one (mode, pair count)."""
+    return contended_round_trip_us(params["n_pairs"], params["cross"],
+                                   config)
+
+
+def plan_units(config, quick: bool = False):
+    pairs = [n for n in range(1, MAX_PAIRS + 1)
+             if 2 * n <= config.n_cpus]
+    return [WorkUnit("contention", f"{tag}:{n}",
+                     {"n_pairs": n, "cross": cross})
+            for cross, tag in ((False, "local"), (True, "cross"))
+            for n in pairs]
+
+
 @register("contention", "Message-traffic contention (ref [24] observation)")
 def run(config: Optional[MachineConfig] = None,
-        max_pairs: int = 4) -> ExperimentResult:
+        max_pairs: int = MAX_PAIRS, checkpoint=None) -> ExperimentResult:
     """Per-pair round trip vs number of simultaneous pairs."""
     config = config or spp1000()
+    if checkpoint is not None:
+        checkpoint.bind("contention")
+    point = point_runner(checkpoint)
+
     pair_counts = list(range(1, max_pairs + 1))
-    local = [contended_round_trip_us(n, False, config) for n in pair_counts]
-    crossed = [contended_round_trip_us(n, True, config) for n in pair_counts]
+    local = [point(f"local:{n}",
+                   lambda n=n: _unit({"n_pairs": n, "cross": False}, config))
+             for n in pair_counts]
+    crossed = [point(f"cross:{n}",
+                     lambda n=n: _unit({"n_pairs": n, "cross": True},
+                                       config))
+               for n in pair_counts]
     data: Dict = {
         "pairs": pair_counts,
         "local_us": local,
@@ -88,3 +115,6 @@ def run(config: Optional[MachineConfig] = None,
                f"{data['local_degradation']:.0%} (paper [24]: 'little "
                f"degradation'); cross-ring: {data['cross_degradation']:.0%}"),
     )
+
+
+register_units("contention", plan_units, _unit)

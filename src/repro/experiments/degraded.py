@@ -19,13 +19,78 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core import MachineConfig, Series, Table, spp1000
-from ..faults import active_fault_plan, ring_loss_plan, use_faults
+from ..exec.units import WorkUnit, register_units
+from ..faults import (
+    active_fault_plan,
+    plan_from_dict,
+    ring_loss_plan,
+    use_faults,
+)
 from ..runtime import Placement
-from .base import ExperimentResult, register
+from .base import ExperimentResult, point_runner, register
 from .fig3_barrier import barrier_metrics_us
 from .fig4_message import round_trip_us
 
-__all__ = ["run"]
+__all__ = ["run", "plan_units"]
+
+
+def _scenarios():
+    """(label, plan) per scenario; honours an ambient ``--faults`` plan."""
+    ambient = active_fault_plan()
+    if ambient is not None and not ambient.is_empty:
+        label = ambient.description or "fault plan"
+        if len(label) > 40:
+            label = label[:37] + "..."
+        return [("0 rings failed", None), (label, ambient)]
+    return [("0 rings failed", None),
+            ("1 ring failed", ring_loss_plan(1)),
+            ("2 rings failed", ring_loss_plan(2))]
+
+
+def _sweep_lists(config, quick):
+    thread_counts = [2, 4, 8] if quick else [2, 4, 8, 12, 16]
+    thread_counts = [n for n in thread_counts if n <= config.n_cpus]
+    sizes = [256, 4096] if quick else [64, 1024, 8192, 65536]
+    return thread_counts, sizes
+
+
+def _unit(params, config):
+    """One work unit: one barrier or message point under one scenario.
+
+    The scenario's fault plan travels inside ``params`` (as its dict
+    form) so the unit is self-contained: ``use_faults`` is entered even
+    for the clean scenario, masking any ambient plan exactly as the
+    in-process ``run()`` does.
+    """
+    plan = (plan_from_dict(params["plan"], config)
+            if params["plan"] is not None else None)
+    with use_faults(plan):
+        if params["kind"] == "barrier":
+            return barrier_metrics_us(
+                params["n_threads"], Placement.UNIFORM, config,
+                params["rounds"])["last_in_last_out"]
+        return round_trip_us(params["nbytes"], Placement.UNIFORM, config,
+                             params["repeats"])
+
+
+def plan_units(config, quick: bool = False):
+    thread_counts, sizes = _sweep_lists(config, quick)
+    rounds = 3 if quick else 8
+    repeats = 2 if quick else 4
+    units = []
+    for label, plan in _scenarios():
+        plan_dict = None if plan is None else plan.to_dict()
+        units.extend(
+            WorkUnit("degraded", f"{label}:barrier:{n}",
+                     {"kind": "barrier", "plan": plan_dict, "n_threads": n,
+                      "rounds": rounds})
+            for n in thread_counts)
+        units.extend(
+            WorkUnit("degraded", f"{label}:message:{s}",
+                     {"kind": "message", "plan": plan_dict, "nbytes": s,
+                      "repeats": repeats})
+            for s in sizes)
+    return units
 
 
 @register("degraded", "Barrier and message costs under failed SCI rings")
@@ -33,28 +98,14 @@ def run(config: Optional[MachineConfig] = None, quick: bool = False,
         checkpoint=None) -> ExperimentResult:
     """Measure Fig. 3 barrier and Fig. 4 message curves per fault scenario."""
     config = config or spp1000()
-    thread_counts = [2, 4, 8] if quick else [2, 4, 8, 12, 16]
-    thread_counts = [n for n in thread_counts if n <= config.n_cpus]
-    sizes = [256, 4096] if quick else [64, 1024, 8192, 65536]
+    thread_counts, sizes = _sweep_lists(config, quick)
     rounds = 3 if quick else 8
     repeats = 2 if quick else 4
 
-    ambient = active_fault_plan()
-    if ambient is not None and not ambient.is_empty:
-        label = ambient.description or "fault plan"
-        if len(label) > 40:
-            label = label[:37] + "..."
-        scenarios = [("0 rings failed", None), (label, ambient)]
-    else:
-        scenarios = [("0 rings failed", None),
-                     ("1 ring failed", ring_loss_plan(1)),
-                     ("2 rings failed", ring_loss_plan(2))]
-
+    scenarios = _scenarios()
     if checkpoint is not None:
         checkpoint.bind("degraded")
-
-    def point(key, fn):
-        return fn() if checkpoint is None else checkpoint.point(key, fn)
+    point = point_runner(checkpoint)
 
     series: List[Series] = []
     msg_table = Table(
@@ -102,3 +153,6 @@ def run(config: Optional[MachineConfig] = None, quick: bool = False,
                "absorb the detoured traffic (serialisation per ring) and "
                "every detoured packet pays the reroute penalty."),
     )
+
+
+register_units("degraded", plan_units, _unit)

@@ -15,11 +15,16 @@ from typing import Optional, Sequence
 
 from ..core import MachineConfig, Series, spp1000, summarize
 from ..core.units import to_us
+from ..exec.units import WorkUnit, register_units
 from ..machine import Machine
 from ..runtime import Placement, Runtime
-from .base import ExperimentResult, register
+from .base import ExperimentResult, point_runner, register
 
-__all__ = ["run", "forkjoin_time_us"]
+__all__ = ["run", "forkjoin_time_us", "plan_units"]
+
+THREAD_COUNTS = [1, 2, 4, 6, 8, 10, 12, 14, 16]
+_PLACEMENTS = [(Placement.HIGH_LOCALITY, "high locality"),
+               (Placement.UNIFORM, "uniform")]
 
 
 def _empty_body(env, tid):
@@ -53,20 +58,42 @@ def forkjoin_time_us(n_threads: int, placement: Placement,
     return to_us(summarize(samples).mean)
 
 
+def _unit(params, config):
+    """One work unit: fork-join time at one (placement, thread count)."""
+    return forkjoin_time_us(params["n_threads"],
+                            Placement(params["placement"]), config,
+                            params["repeats"])
+
+
+def _points(thread_counts, repeats):
+    return [(f"{tag}:{n}", {"placement": placement.value, "n_threads": n,
+                            "repeats": repeats})
+            for placement, tag in _PLACEMENTS for n in thread_counts]
+
+
+def plan_units(config, quick: bool = False):
+    counts = [n for n in THREAD_COUNTS if n <= config.n_cpus]
+    return [WorkUnit("fig2", key, params)
+            for key, params in _points(counts, repeats=3)]
+
+
 @register("fig2", "Cost of fork-join")
 def run(config: Optional[MachineConfig] = None,
         thread_counts: Optional[Sequence[int]] = None,
-        repeats: int = 3) -> ExperimentResult:
+        repeats: int = 3, checkpoint=None) -> ExperimentResult:
     """Regenerate Figure 2."""
     config = config or spp1000()
     if thread_counts is None:
-        thread_counts = [1, 2, 4, 6, 8, 10, 12, 14, 16]
+        thread_counts = THREAD_COUNTS
     thread_counts = [n for n in thread_counts if n <= config.n_cpus]
+    if checkpoint is not None:
+        checkpoint.bind("fig2")
+    point = point_runner(checkpoint)
 
-    high = [forkjoin_time_us(n, Placement.HIGH_LOCALITY, config, repeats)
-            for n in thread_counts]
-    uniform = [forkjoin_time_us(n, Placement.UNIFORM, config, repeats)
-               for n in thread_counts]
+    values = {key: point(key, lambda p=params: _unit(p, config))
+              for key, params in _points(thread_counts, repeats)}
+    high = [values[f"high locality:{n}"] for n in thread_counts]
+    uniform = [values[f"uniform:{n}"] for n in thread_counts]
 
     result = ExperimentResult(
         "fig2", "Cost of fork-join (us) vs threads spawned",
@@ -84,3 +111,6 @@ def run(config: Optional[MachineConfig] = None,
                "across two, ~50 us one-time penalty at the crossing."),
     )
     return result
+
+
+register_units("fig2", plan_units, _unit)

@@ -18,11 +18,16 @@ from typing import Dict, Optional, Sequence
 
 from ..core import MachineConfig, Series, corrected, spp1000
 from ..core.units import to_us
+from ..exec.units import WorkUnit, register_units
 from ..machine import Machine
 from ..runtime import Barrier, Placement, Runtime
-from .base import ExperimentResult, register
+from .base import ExperimentResult, point_runner, register
 
-__all__ = ["run", "barrier_metrics_us"]
+__all__ = ["run", "barrier_metrics_us", "plan_units"]
+
+THREAD_COUNTS = [2, 4, 6, 8, 10, 12, 14, 16]
+_PLACEMENTS = [(Placement.HIGH_LOCALITY, "high locality"),
+               (Placement.UNIFORM, "uniform")]
 
 
 def barrier_metrics_us(n_threads: int, placement: Placement,
@@ -63,23 +68,48 @@ def barrier_metrics_us(n_threads: int, placement: Placement,
     }
 
 
+def _unit(params, config):
+    """One work unit: both barrier metrics at one (placement, count)."""
+    return barrier_metrics_us(params["n_threads"],
+                              Placement(params["placement"]), config,
+                              params["rounds"])
+
+
+def _points(thread_counts, rounds):
+    return [(f"{tag}:{n}", {"placement": placement.value, "n_threads": n,
+                            "rounds": rounds})
+            for placement, tag in _PLACEMENTS for n in thread_counts]
+
+
+def plan_units(config, quick: bool = False):
+    counts = [n for n in THREAD_COUNTS if n <= config.n_cpus]
+    return [WorkUnit("fig3", key, params)
+            for key, params in _points(counts, rounds=12)]
+
+
 @register("fig3", "Cost of barrier synchronisation")
 def run(config: Optional[MachineConfig] = None,
         thread_counts: Optional[Sequence[int]] = None,
-        rounds: int = 12) -> ExperimentResult:
+        rounds: int = 12, checkpoint=None) -> ExperimentResult:
     """Regenerate Figure 3."""
     config = config or spp1000()
     if thread_counts is None:
-        thread_counts = [2, 4, 6, 8, 10, 12, 14, 16]
+        thread_counts = THREAD_COUNTS
     thread_counts = [n for n in thread_counts if n <= config.n_cpus]
+    if checkpoint is not None:
+        checkpoint.bind("fig3")
+    point = point_runner(checkpoint)
 
     data: Dict[str, list] = {"thread_counts": list(thread_counts)}
     series = []
-    for placement, tag in [(Placement.HIGH_LOCALITY, "high locality"),
-                           (Placement.UNIFORM, "uniform")]:
+    for placement, tag in _PLACEMENTS:
         lifo, lilo = [], []
         for n in thread_counts:
-            metrics = barrier_metrics_us(n, placement, config, rounds)
+            metrics = point(
+                f"{tag}:{n}",
+                lambda n=n, p=placement: _unit(
+                    {"placement": p.value, "n_threads": n,
+                     "rounds": rounds}, config))
             lifo.append(metrics["last_in_first_out"])
             lilo.append(metrics["last_in_last_out"])
         series.append(Series(f"LIFO {tag}", list(thread_counts), lifo))
@@ -95,3 +125,6 @@ def run(config: Optional[MachineConfig] = None,
         notes=("Paper: LIFO ~3.5 us on one hypernode (+~1 us with a second); "
                "LILO grows ~2 us per thread beyond the second."),
     )
+
+
+register_units("fig3", plan_units, _unit)

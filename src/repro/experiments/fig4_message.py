@@ -13,12 +13,17 @@ from typing import Optional, Sequence
 
 from ..core import MachineConfig, Series, spp1000
 from ..core.units import to_us
+from ..exec.units import WorkUnit, register_units
 from ..machine import Machine
 from ..pvm import PvmSystem
 from ..runtime import Placement, Runtime
-from .base import ExperimentResult, register
+from .base import ExperimentResult, point_runner, register
 
-__all__ = ["run", "round_trip_us"]
+__all__ = ["run", "round_trip_us", "plan_units"]
+
+SIZES = [64, 256, 1024, 4096, 8192, 16384, 32768, 65536, 131072, 262144]
+_PLACEMENTS = [(Placement.HIGH_LOCALITY, "local"),
+               (Placement.UNIFORM, "global")]
 
 
 def round_trip_us(nbytes: int, placement: Placement,
@@ -49,20 +54,39 @@ def round_trip_us(nbytes: int, placement: Placement,
     return to_us(min(times))
 
 
+def _unit(params, config):
+    """One work unit: round-trip time at one (placement, message size)."""
+    return round_trip_us(params["nbytes"], Placement(params["placement"]),
+                         config, params["repeats"])
+
+
+def _points(sizes, repeats):
+    return [(f"{tag}:{s}", {"placement": placement.value, "nbytes": s,
+                            "repeats": repeats})
+            for placement, tag in _PLACEMENTS for s in sizes]
+
+
+def plan_units(config, quick: bool = False):
+    return [WorkUnit("fig4", key, params)
+            for key, params in _points(SIZES, repeats=4)]
+
+
 @register("fig4", "Cost of round-trip message passing")
 def run(config: Optional[MachineConfig] = None,
         sizes: Optional[Sequence[int]] = None,
-        repeats: int = 4) -> ExperimentResult:
+        repeats: int = 4, checkpoint=None) -> ExperimentResult:
     """Regenerate Figure 4."""
     config = config or spp1000()
     if sizes is None:
-        sizes = [64, 256, 1024, 4096, 8192, 16384, 32768, 65536,
-                 131072, 262144]
+        sizes = SIZES
+    if checkpoint is not None:
+        checkpoint.bind("fig4")
+    point = point_runner(checkpoint)
 
-    local = [round_trip_us(s, Placement.HIGH_LOCALITY, config, repeats)
-             for s in sizes]
-    globl = [round_trip_us(s, Placement.UNIFORM, config, repeats)
-             for s in sizes]
+    values = {key: point(key, lambda p=params: _unit(p, config))
+              for key, params in _points(sizes, repeats)}
+    local = [values[f"local:{s}"] for s in sizes]
+    globl = [values[f"global:{s}"] for s in sizes]
 
     small = [i for i, s in enumerate(sizes) if s <= 8192]
     ratio = (sum(globl[i] for i in small) / sum(local[i] for i in small)
@@ -84,3 +108,6 @@ def run(config: Optional[MachineConfig] = None,
         notes=(f"Measured global/local ratio below 8 KB: {ratio:.2f} "
                "(paper: 2.3).  Knee at 8 KB = 2-page PVM fast buffer."),
     )
+
+
+register_units("fig4", plan_units, _unit)

@@ -20,31 +20,75 @@ from ..apps.fem import (
 )
 from ..core import MachineConfig, Series, spp1000
 from ..core.units import to_seconds
-from .base import ExperimentResult, register
+from ..exec.units import WorkUnit, register_units
+from ..perfmodel.sweep import scaling_study
+from .base import ExperimentResult, point_runner, register
 
-__all__ = ["run"]
+__all__ = ["run", "plan_units"]
+
+PROCESSOR_COUNTS = [1, 2, 4, 6, 8, 9, 10, 12, 14, 16]
+_PROBLEMS = {"small1": small1_problem, "large": large_problem,
+             "small2": small2_problem}
+
+
+def _label_of(problem) -> str:
+    for name, factory in _PROBLEMS.items():
+        if factory().label == problem.label:
+            return name
+    raise KeyError(problem.label)
+
+
+def _unit(params, config):
+    """One work unit: one (problem, processor-count) FEM run."""
+    problem = _PROBLEMS[params["problem"]]()
+    workload = FEMWorkload(problem, config)
+    if params.get("style") == "c90":
+        total = workload.flops_per_step() * problem.n_steps
+        return total / to_seconds(workload.run_c90()) / 1e6
+    result = workload.run(params["p"])
+    return [result.time_ns, result.flops]
+
+
+def plan_units(config, quick: bool = False):
+    counts = [p for p in PROCESSOR_COUNTS if p <= config.n_cpus]
+    units = []
+    for name in _PROBLEMS:
+        units.extend(WorkUnit("fig7", f"fem:{name}:{p}",
+                              {"problem": name, "p": p})
+                     for p in counts)
+    units.append(WorkUnit("fig7", "c90",
+                          {"problem": "small1", "style": "c90"}))
+    return units
 
 
 @register("fig7", "FEM performance on small and large data sets")
 def run(config: Optional[MachineConfig] = None,
-        processor_counts: Optional[Sequence[int]] = None) -> ExperimentResult:
+        processor_counts: Optional[Sequence[int]] = None,
+        checkpoint=None) -> ExperimentResult:
     """Regenerate Figure 7."""
     config = config or spp1000()
     if processor_counts is None:
-        processor_counts = [1, 2, 4, 6, 8, 9, 10, 12, 14, 16]
+        processor_counts = PROCESSOR_COUNTS
     processor_counts = [p for p in processor_counts if p <= config.n_cpus]
+    if checkpoint is not None:
+        checkpoint.bind("fig7")
+    point = point_runner(checkpoint)
 
     series = []
     data: Dict = {"processors": list(processor_counts)}
     c90_rate = None
     for problem in (small1_problem(), large_problem(), small2_problem()):
         workload = FEMWorkload(problem, config)
-        rates = [workload.run(p).mflops for p in processor_counts]
+        curve = scaling_study(workload.run, processor_counts,
+                              label=f"fem:{_label_of(problem)}",
+                              point=point)
+        rates = [pt.mflops for pt in curve.points]
         series.append(Series(problem.label, list(processor_counts), rates))
         data[problem.label] = {"mflops": rates}
         if c90_rate is None:
-            total = workload.flops_per_step() * problem.n_steps
-            c90_rate = total / to_seconds(workload.run_c90()) / 1e6
+            c90_rate = point(
+                "c90", lambda: _unit({"problem": "small1", "style": "c90"},
+                                     config))
     series.append(Series("C90 (1 head)", list(processor_counts),
                          [c90_rate] * len(processor_counts)))
     data["c90_mflops"] = c90_rate
@@ -58,3 +102,6 @@ def run(config: Optional[MachineConfig] = None,
                "processors (first spill onto the second hypernode) that "
                "the paper reports as under investigation."),
     )
+
+
+register_units("fig7", plan_units, _unit)

@@ -21,53 +21,96 @@ from ..apps.nbody import (
     problem_256k,
 )
 from ..core import MachineConfig, Series, spp1000
+from ..core.metrics import mflops
 from ..core.units import to_seconds
+from ..exec.units import WorkUnit, register_units
 from ..runtime import Placement
-from .base import ExperimentResult, register
+from .base import ExperimentResult, point_runner, register
 
-__all__ = ["run"]
+__all__ = ["run", "plan_units"]
 
 ONE_NODE_COUNTS = [1, 2, 4, 8]
 TWO_NODE_COUNTS = [2, 4, 8, 16]
 
+_PROBLEMS = {"32k": problem_32k, "256k": problem_256k, "2m": problem_2m}
+_PLACEMENTS = {"high": Placement.HIGH_LOCALITY,
+               "uniform": Placement.UNIFORM}
+
+
+def _unit(params, config):
+    """One work unit: one (problem, placement, count) run, or the C90."""
+    problem = _PROBLEMS[params["problem"]]()
+    workload = NBodyWorkload(problem, config)
+    if params.get("style") == "c90":
+        total = workload.flops_per_step() * problem.n_steps
+        return total / to_seconds(workload.run_c90()) / 1e6
+    result = workload.run_shared(params["p"],
+                                 _PLACEMENTS[params["placement"]])
+    return [result.time_ns, result.flops]
+
+
+def plan_units(config, quick: bool = False):
+    units = []
+    for name in _PROBLEMS:
+        for p in ONE_NODE_COUNTS:
+            units.append(WorkUnit("fig8", f"{name}:high:{p}",
+                                  {"problem": name, "placement": "high",
+                                   "p": p}))
+        for p in TWO_NODE_COUNTS:
+            units.append(WorkUnit("fig8", f"{name}:uniform:{p}",
+                                  {"problem": name, "placement": "uniform",
+                                   "p": p}))
+        units.append(WorkUnit("fig8", f"{name}:c90",
+                              {"problem": name, "style": "c90"}))
+    return units
+
 
 @register("fig8", "N-body performance scaling")
 def run(config: Optional[MachineConfig] = None,
-        include_2m: bool = True) -> ExperimentResult:
+        include_2m: bool = True, checkpoint=None) -> ExperimentResult:
     """Regenerate Figure 8."""
     config = config or spp1000()
-    problems = [problem_32k(), problem_256k()]
-    if include_2m:
-        problems.append(problem_2m())
+    if checkpoint is not None:
+        checkpoint.bind("fig8")
+    point = point_runner(checkpoint)
 
     series = []
     data: Dict = {}
-    for problem in problems:
-        workload = NBodyWorkload(problem, config)
-        base = workload.run_shared(1)
-        one_node = [base.time_ns / workload.run_shared(
-            p, Placement.HIGH_LOCALITY).time_ns for p in ONE_NODE_COUNTS]
-        two_node = [base.time_ns / workload.run_shared(
-            p, Placement.UNIFORM).time_ns for p in TWO_NODE_COUNTS]
+    for name, factory in _PROBLEMS.items():
+        if name == "2m" and not include_2m:
+            continue
+        problem = factory()
+
+        def shared(placement, p, name=name):
+            return point(f"{name}:{placement}:{p}",
+                         lambda: _unit({"problem": name,
+                                        "placement": placement, "p": p},
+                                       config))
+
+        base_t, base_f = shared("high", 1)
+        one_node = [base_t / shared("high", p)[0] for p in ONE_NODE_COUNTS]
+        two_node = [base_t / shared("uniform", p)[0]
+                    for p in TWO_NODE_COUNTS]
         series.append(Series(f"{problem.label} 1-hypernode",
                              ONE_NODE_COUNTS, one_node))
         series.append(Series(f"{problem.label} 2-hypernodes",
                              TWO_NODE_COUNTS, two_node))
-        r16 = workload.run_shared(16, Placement.UNIFORM)
+        t16, f16 = shared("uniform", 16)
         degradation = {}
         for p in (2, 4, 8):
-            t1 = workload.run_shared(p, Placement.HIGH_LOCALITY).time_ns
-            t2 = workload.run_shared(p, Placement.UNIFORM).time_ns
+            t1 = shared("high", p)[0]
+            t2 = shared("uniform", p)[0]
             degradation[p] = (t2 - t1) / t1
-        c90_ns = workload.run_c90()
-        total_flops = workload.flops_per_step() * problem.n_steps
         data[problem.label] = {
             "one_node_speedup": one_node,
             "two_node_speedup": two_node,
-            "single_cpu_mflops": base.mflops,
-            "mflops_16": r16.mflops,
+            "single_cpu_mflops": mflops(base_f, base_t) if base_f else 0.0,
+            "mflops_16": mflops(f16, t16) if f16 else 0.0,
             "degradation": degradation,
-            "c90_mflops": total_flops / to_seconds(c90_ns) / 1e6,
+            "c90_mflops": point(f"{name}:c90",
+                                lambda n=name: _unit(
+                                    {"problem": n, "style": "c90"},
+                                    config)),
         }
 
     return ExperimentResult(
@@ -78,3 +121,6 @@ def run(config: Optional[MachineConfig] = None,
                "2-7% degradation across two hypernodes; vectorised C90 "
                "tree code 120 MFLOP/s."),
     )
+
+
+register_units("fig8", plan_units, _unit)

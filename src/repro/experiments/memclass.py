@@ -15,27 +15,47 @@ from typing import Dict, Optional
 
 from ..apps.fem import FEMWorkload, large_problem
 from ..core import MachineConfig, Series, Table, spp1000
+from ..exec.units import WorkUnit, register_units
 from ..runtime import Placement
-from .base import ExperimentResult, register
+from .base import ExperimentResult, point_runner, register
 
-__all__ = ["run"]
+__all__ = ["run", "plan_units"]
 
 PROCESSOR_COUNTS = [8, 9, 12, 16]
 
 
+def _unit(params, config):
+    """One work unit: FEM large at one (data placement, CPU count)."""
+    workload = FEMWorkload(large_problem(), config,
+                           data_placement=params["placement"])
+    return workload.run(params["p"], Placement.HIGH_LOCALITY).mflops
+
+
+def plan_units(config, quick: bool = False):
+    counts = [p for p in PROCESSOR_COUNTS if p <= config.n_cpus]
+    return [WorkUnit("memclass", f"{placement}:{p}",
+                     {"placement": placement, "p": p})
+            for placement in FEMWorkload.PLACEMENTS for p in counts]
+
+
 @register("memclass", "Memory-class placement ablation (beyond the paper)")
-def run(config: Optional[MachineConfig] = None) -> ExperimentResult:
+def run(config: Optional[MachineConfig] = None,
+        checkpoint=None) -> ExperimentResult:
     """FEM large under far-shared / near-shared / block-shared placement."""
     config = config or spp1000()
+    if checkpoint is not None:
+        checkpoint.bind("memclass")
+    point = point_runner(checkpoint)
+
     series = []
     data: Dict = {"processors": PROCESSOR_COUNTS}
     table = Table(
         "FEM large: useful MFLOP/s by data placement",
         ["placement"] + [f"{p} CPUs" for p in PROCESSOR_COUNTS])
     for placement in FEMWorkload.PLACEMENTS:
-        workload = FEMWorkload(large_problem(), config,
-                               data_placement=placement)
-        rates = [workload.run(p, Placement.HIGH_LOCALITY).mflops
+        rates = [point(f"{placement}:{p}",
+                       lambda pl=placement, p=p: _unit(
+                           {"placement": pl, "p": p}, config))
                  for p in PROCESSOR_COUNTS]
         series.append(Series(placement, PROCESSOR_COUNTS, rates))
         table.add_row(placement, *[f"{r:.0f}" for r in rates])
@@ -50,3 +70,6 @@ def run(config: Optional[MachineConfig] = None) -> ExperimentResult:
                "the Figure 7 dip at 9 CPUs; near_shared hosting on one "
                "hypernode collapses once threads spill past it."),
     )
+
+
+register_units("memclass", plan_units, _unit)

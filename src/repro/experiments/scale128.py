@@ -25,10 +25,11 @@ from ..apps.pic import PICWorkload
 from ..apps.pic import large_problem as pic_large
 from ..apps.ppm import PPMProblem, PPMWorkload
 from ..core import MachineConfig, Series, Table, spp1000
+from ..exec.units import WorkUnit, register_units
 from ..runtime import Placement
-from .base import ExperimentResult, register
+from .base import ExperimentResult, point_runner, register
 
-__all__ = ["run", "HYPERNODE_COUNTS"]
+__all__ = ["run", "HYPERNODE_COUNTS", "plan_units"]
 
 HYPERNODE_COUNTS = [1, 2, 4, 8, 16]
 
@@ -51,21 +52,42 @@ def _run_app(workload, n_threads: int):
     return workload.run(n_threads, Placement.HIGH_LOCALITY)
 
 
+def _unit(params, config):
+    """One work unit: one application at one machine size (time_ns)."""
+    del config  # machine size is the swept variable here
+    cfg = spp1000(n_hypernodes=params["hypernodes"])
+    workload = _workloads(cfg)[params["app"]]
+    return _run_app(workload, params["threads"]).time_ns
+
+
+def plan_units(config, quick: bool = False):
+    app_names = list(_workloads(spp1000(n_hypernodes=1)))
+    units = [WorkUnit("scale128", f"baseline:{name}",
+                      {"app": name, "hypernodes": 1, "threads": 1})
+             for name in app_names]
+    for hns in HYPERNODE_COUNTS:
+        n_cpus = spp1000(n_hypernodes=hns).n_cpus
+        units.extend(WorkUnit("scale128", f"{name}:{hns}",
+                              {"app": name, "hypernodes": hns,
+                               "threads": n_cpus})
+                     for name in app_names)
+    return units
+
+
 @register("scale128", "Predicted scaling to 128 processors (future work)")
 def run(config: Optional[MachineConfig] = None,
         checkpoint=None) -> ExperimentResult:
     """Extrapolate every application to the 16-hypernode machine.
 
-    ``checkpoint`` (a :class:`~repro.experiments.checkpoint.Checkpoint`)
-    persists each completed sweep point; a resumed run skips them and
-    reproduces the same final results bit for bit.
+    ``checkpoint`` (a :class:`~repro.experiments.checkpoint.Checkpoint`
+    or the execution fabric's point store) persists each completed sweep
+    point; a resumed run skips them and reproduces the same final
+    results bit for bit.
     """
     del config  # machine size is the swept variable here
     if checkpoint is not None:
         checkpoint.bind("scale128")
-
-    def point(key, fn):
-        return fn() if checkpoint is None else checkpoint.point(key, fn)
+    point = point_runner(checkpoint)
 
     baseline_cfg = spp1000(n_hypernodes=1)
     baselines = {name: point(f"baseline:{name}",
@@ -110,3 +132,6 @@ def run(config: Optional[MachineConfig] = None,
                "the same effect the paper engineered for its small data "
                "set at 16 CPUs."),
     )
+
+
+register_units("scale128", plan_units, _unit)

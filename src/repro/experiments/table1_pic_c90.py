@@ -19,44 +19,61 @@ from typing import Optional
 from ..apps.pic import PICWorkload, large_problem, small_problem
 from ..core import MachineConfig, Table, spp1000
 from ..core.units import to_seconds
+from ..exec.units import WorkUnit, register_units
 from ..perfmodel import C90Model
-from .base import ExperimentResult, register
+from .base import ExperimentResult, point_runner, register
 
-__all__ = ["run"]
+__all__ = ["run", "plan_units"]
 
 PAPER_ROWS = {
     "32x32x32": {"particles": 294912, "mflops": 355.0, "seconds": 112.9},
     "64x64x32": {"particles": 1179648, "mflops": 369.0, "seconds": 436.4},
 }
 
+_PROBLEMS = {"32x32x32": small_problem, "64x64x32": large_problem}
+
+
+def _unit(params, config):
+    """One work unit: one C90 PIC row (mflops and seconds)."""
+    problem = _PROBLEMS[params["problem"]]()
+    workload = PICWorkload(problem, config)
+    time_ns = workload.run_c90(C90Model())
+    flops = workload.flops_per_step() * problem.n_steps
+    return {
+        "particles": problem.n_particles,
+        "mflops": flops / to_seconds(time_ns) / 1e6,
+        "seconds": to_seconds(time_ns),
+    }
+
+
+def plan_units(config, quick: bool = False):
+    return [WorkUnit("table1", label, {"problem": label})
+            for label in _PROBLEMS]
+
 
 @register("table1", "PIC performance on 1 C90 processor")
-def run(config: Optional[MachineConfig] = None) -> ExperimentResult:
+def run(config: Optional[MachineConfig] = None,
+        checkpoint=None) -> ExperimentResult:
     """Regenerate Table 1."""
     config = config or spp1000()
-    c90 = C90Model()
+    if checkpoint is not None:
+        checkpoint.bind("table1")
+    point = point_runner(checkpoint)
+
     table = Table(
         "Table 1: PIC on one C90 head (paper values in parentheses)",
         ["Mesh", "Particles", "Mflop/s", "Total CPU time (s)"])
     data = {}
-    for problem in (small_problem(), large_problem()):
-        workload = PICWorkload(problem, config)
-        time_ns = workload.run_c90(c90)
-        flops = workload.flops_per_step() * problem.n_steps
-        mflops = flops / to_seconds(time_ns) / 1e6
-        paper = PAPER_ROWS[problem.label]
+    for label in _PROBLEMS:
+        row = point(label, lambda l=label: _unit({"problem": l}, config))
+        paper = PAPER_ROWS[label]
         table.add_row(
-            problem.label,
-            f"{problem.n_particles} ({paper['particles']})",
-            f"{mflops:.0f} ({paper['mflops']:.0f})",
-            f"{to_seconds(time_ns):.1f} ({paper['seconds']:.1f})",
+            label,
+            f"{row['particles']} ({paper['particles']})",
+            f"{row['mflops']:.0f} ({paper['mflops']:.0f})",
+            f"{row['seconds']:.1f} ({paper['seconds']:.1f})",
         )
-        data[problem.label] = {
-            "particles": problem.n_particles,
-            "mflops": mflops,
-            "seconds": to_seconds(time_ns),
-            "paper": paper,
-        }
+        data[label] = dict(row, paper=paper)
     return ExperimentResult(
         "table1", "PIC performance on 1 C90 processor",
         tables=[table], data=data,
@@ -64,3 +81,6 @@ def run(config: Optional[MachineConfig] = None) -> ExperimentResult:
                "scale with our per-particle flop count (TSC ledger) rather "
                "than the authors' hpm count."),
     )
+
+
+register_units("table1", plan_units, _unit)

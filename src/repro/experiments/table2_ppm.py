@@ -25,9 +25,10 @@ from typing import Optional
 
 from ..apps.ppm import PPMProblem, PPMWorkload
 from ..core import MachineConfig, Table, spp1000
-from .base import ExperimentResult, register
+from ..exec.units import WorkUnit, register_units
+from .base import ExperimentResult, point_runner, register
 
-__all__ = ["run", "PAPER_ROWS"]
+__all__ = ["run", "PAPER_ROWS", "plan_units"]
 
 #: (grid, tiles, procs) -> paper MFLOP/s
 PAPER_ROWS = [
@@ -43,22 +44,45 @@ PAPER_ROWS = [
 ]
 
 
+def _key(nx, ny, tx, ty, procs):
+    return f"{nx}x{ny}:{tx}x{ty}:{procs}"
+
+
+def _unit(params, config):
+    """One work unit: one PPM table row (sustained MFLOP/s)."""
+    problem = PPMProblem(params["nx"], params["ny"],
+                         params["tx"], params["ty"])
+    return PPMWorkload(problem, config).run(params["procs"]).mflops
+
+
+def plan_units(config, quick: bool = False):
+    return [WorkUnit("table2", _key(nx, ny, tx, ty, procs),
+                     {"nx": nx, "ny": ny, "tx": tx, "ty": ty,
+                      "procs": procs})
+            for (nx, ny), (tx, ty), procs, _ in PAPER_ROWS]
+
+
 @register("table2", "PPM performance")
-def run(config: Optional[MachineConfig] = None) -> ExperimentResult:
+def run(config: Optional[MachineConfig] = None,
+        checkpoint=None) -> ExperimentResult:
     """Regenerate Table 2."""
     config = config or spp1000()
+    if checkpoint is not None:
+        checkpoint.bind("table2")
+    point = point_runner(checkpoint)
+
     table = Table("Table 2: PPM performance (paper values in parentheses)",
                   ["Grid Size", "No. of Tiles", "No. of Procs", "Mflop/s"])
     rows = []
     for (nx, ny), (tx, ty), procs, paper_mflops in PAPER_ROWS:
-        problem = PPMProblem(nx, ny, tx, ty)
-        workload = PPMWorkload(problem, config)
-        result = workload.run(procs)
+        rate = point(_key(nx, ny, tx, ty, procs),
+                     lambda p={"nx": nx, "ny": ny, "tx": tx, "ty": ty,
+                               "procs": procs}: _unit(p, config))
         table.add_row(f"{nx}x{ny}", f"{tx}x{ty}", procs,
-                      f"{result.mflops:.1f} ({paper_mflops})")
+                      f"{rate:.1f} ({paper_mflops})")
         rows.append({
             "grid": (nx, ny), "tiles": (tx, ty), "procs": procs,
-            "mflops": result.mflops, "paper_mflops": paper_mflops,
+            "mflops": rate, "paper_mflops": paper_mflops,
         })
     return ExperimentResult(
         "table2", "PPM performance",
@@ -68,3 +92,6 @@ def run(config: Optional[MachineConfig] = None) -> ExperimentResult:
                "overhead; the rate is insensitive to grid size because a "
                "tile, not the grid, is the cache working set."),
     )
+
+
+register_units("table2", plan_units, _unit)

@@ -86,12 +86,16 @@ def span_summary(tracer: Tracer) -> Dict[str, Dict]:
 def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
                    config: Optional[MachineConfig] = None,
                    phases: Optional[List[Dict]] = None,
+                   execution: Optional[Dict] = None,
                    extra: Optional[Dict] = None) -> Dict:
     """Assemble a ``metrics.json`` manifest.
 
     ``result`` is an :class:`~repro.experiments.base.ExperimentResult`
     (or None for ad-hoc runs); ``phases`` is an optional list of
-    per-phase hpm rows from :class:`~repro.obs.phases.PhaseAttributor`.
+    per-phase hpm rows from :class:`~repro.obs.phases.PhaseAttributor`;
+    ``execution`` is an :class:`~repro.exec.ExecutionReport` dict (jobs,
+    cache hits, units) recorded when the run went through the execution
+    fabric.
     """
     manifest: Dict = {"schema_version": SCHEMA_VERSION,
                       "generator": "repro.obs"}
@@ -102,11 +106,17 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
         if result.notes:
             manifest["notes"] = result.notes
     if config is not None:
+        from ..core.canon import config_dict, stable_hash
+
         manifest["machine"] = {
             "n_hypernodes": config.n_hypernodes,
             "n_cpus": config.n_cpus,
             "clock_ns": config.clock_ns,
             "dcache_bytes": config.dcache_bytes,
+            # full canonical parameter set, hashed the same way the
+            # result cache keys it (see docs/execution.md)
+            "config_hash": stable_hash(config_dict(config), length=16),
+            "config": _jsonable(config_dict(config)),
         }
     if tracer is not None:
         manifest["counters"] = _jsonable(tracer.counters)
@@ -125,6 +135,8 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
         }
     if phases:
         manifest["hpm_phases"] = _jsonable(phases)
+    if execution:
+        manifest["execution"] = _jsonable(execution)
     if extra:
         manifest.update(_jsonable(extra))
     return manifest

@@ -1,0 +1,91 @@
+"""Tests for canonical serialization and hashing (repro.core.canon)."""
+
+import dataclasses
+import enum
+
+import numpy as np
+import pytest
+
+from repro.core import spp1000
+from repro.core.canon import (
+    canonical,
+    canonical_json,
+    config_dict,
+    stable_hash,
+)
+
+
+class Colour(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclasses.dataclass(frozen=True)
+class Inner:
+    x: int
+    tags: tuple
+
+
+def test_scalars_pass_through():
+    assert canonical(3) == 3
+    assert canonical(2.5) == 2.5
+    assert canonical("s") == "s"
+    assert canonical(True) is True
+    assert canonical(None) is None
+
+
+def test_dataclass_becomes_field_dict():
+    assert canonical(Inner(1, ("a", "b"))) == {"x": 1, "tags": ["a", "b"]}
+
+
+def test_enum_becomes_value():
+    assert canonical(Colour.RED) == "red"
+    assert canonical({"c": Colour.BLUE}) == {"c": "blue"}
+
+
+def test_sets_are_order_independent():
+    assert canonical_json({"s": {3, 1, 2}}) == canonical_json({"s": {2, 3, 1}})
+
+
+def test_dict_key_order_does_not_matter():
+    assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+
+def test_numpy_values_become_plain():
+    assert canonical(np.int64(7)) == 7
+    assert canonical(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+
+def test_canonical_json_is_compact_ascii():
+    s = canonical_json({"b": [1, 2], "a": "x"})
+    assert s == '{"a":"x","b":[1,2]}'
+
+
+def test_unserializable_object_is_rejected_loudly():
+    with pytest.raises(TypeError) as exc:
+        canonical(object())
+    assert "canonicalise" in str(exc.value)
+
+
+def test_machine_config_roundtrip_is_stable():
+    a = config_dict(spp1000())
+    b = config_dict(spp1000())
+    assert a == b
+    assert canonical_json(a) == canonical_json(b)
+    assert a["n_hypernodes"] == 2
+
+
+def test_different_configs_hash_differently():
+    assert stable_hash(spp1000()) != stable_hash(spp1000(n_hypernodes=4))
+
+
+def test_stable_hash_length_and_determinism():
+    h = stable_hash({"k": 1}, length=16)
+    assert len(h) == 16
+    assert h == stable_hash({"k": 1}, length=16)
+    assert stable_hash({"k": 1}).startswith(h)
+
+
+def test_float_int_distinction_preserved():
+    # 1 and 1.0 canonicalise to JSON "1" and "1.0" respectively
+    assert canonical_json(1) != canonical_json(1.0)

@@ -1,0 +1,46 @@
+"""Tests for the wall-clock benchmark (python -m repro bench)."""
+
+import json
+
+from repro.core import spp1000
+from repro.exec.bench import (
+    BENCH_SCHEMA,
+    render_bench,
+    run_bench,
+    write_bench,
+)
+
+
+def small_bench():
+    return run_bench(spp1000(), jobs=2, quick=True,
+                     experiment_ids=["table1", "table2"])
+
+
+def test_bench_document_shape(tmp_path):
+    doc = small_bench()
+    assert doc["schema_version"] == BENCH_SCHEMA
+    assert doc["jobs"] == 2
+    assert doc["quick"] is True
+    assert set(doc["experiments"]) == {"table1", "table2"}
+    for exp_id, row in doc["experiments"].items():
+        assert row["units"] > 0
+        assert row["serial_s"] >= 0
+        assert row["identical"] is True, exp_id
+        assert row["cache_hit_rate"] == 1.0, exp_id
+        assert row["units_resimulated_warm"] == 0, exp_id
+    totals = doc["totals"]
+    assert totals["serial_s"] >= 0
+    assert "speedup" in totals and "cached_speedup" in totals
+
+    out = tmp_path / "bench.json"
+    write_bench(doc, str(out))
+    assert json.loads(out.read_text()) == doc
+
+
+def test_bench_renders_a_table():
+    doc = small_bench()
+    text = render_bench(doc)
+    assert "Execution trajectory" in text
+    assert "table1" in text
+    assert "TOTAL" in text
+    assert "NO" not in text  # every row bit-identical

@@ -1,0 +1,121 @@
+"""The fabric's bit-identity contract.
+
+Acceptance criteria from the execution-fabric issue: every registered
+experiment run with ``--jobs 4`` produces byte-identical ``.data`` to
+the serial run — including under a fault plan and when resuming a
+half-finished checkpoint — and a warm-cache re-run re-simulates
+nothing.
+"""
+
+import pytest
+
+import repro.experiments  # noqa: F401
+from repro.core import spp1000
+from repro.core.canon import canonical_json
+from repro.exec import ResultCache, execute, unit_experiments
+from repro.experiments.checkpoint import Checkpoint
+
+CONFIG = spp1000()
+
+_serial_cache = {}
+
+
+def serial_data(exp_id):
+    """Canonical serial-run .data per experiment, computed once."""
+    if exp_id not in _serial_cache:
+        result, report = execute(exp_id, CONFIG, jobs=1, quick=True)
+        _serial_cache[exp_id] = (canonical_json(result.data), report)
+    return _serial_cache[exp_id]
+
+
+@pytest.mark.parametrize("exp_id", unit_experiments())
+def test_jobs4_is_bit_identical_to_serial(exp_id):
+    expected, serial_report = serial_data(exp_id)
+    result, report = execute(exp_id, CONFIG, jobs=4, quick=True)
+    assert canonical_json(result.data) == expected
+    assert report.units_planned == serial_report.units_planned
+    assert report.fallback_points == serial_report.fallback_points
+
+
+@pytest.mark.parametrize("exp_id", ["fig3", "table2"])
+def test_warm_cache_recomputes_nothing(exp_id, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    cold, cold_report = execute(exp_id, CONFIG, jobs=2, quick=True,
+                                cache=cache)
+    warm, warm_report = execute(exp_id, CONFIG, jobs=2, quick=True,
+                                cache=cache)
+    assert canonical_json(cold.data) == canonical_json(warm.data)
+    assert warm_report.computed == 0
+    assert warm_report.cache_hits == warm_report.units_planned
+    assert warm_report.cache_misses == 0
+
+
+def test_parallel_under_fault_plan_is_bit_identical():
+    from repro.faults import ring_loss_plan, use_faults
+
+    plan = ring_loss_plan(1)
+    with use_faults(plan):
+        serial, _ = execute("degraded", CONFIG, jobs=1, quick=True,
+                            fault_plan=plan)
+        parallel, rep = execute("degraded", CONFIG, jobs=4, quick=True,
+                                fault_plan=plan)
+    assert canonical_json(serial.data) == canonical_json(parallel.data)
+    # the ambient plan shrank the scenario list to clean-vs-plan
+    assert serial.data["scenarios"][0] == "0 rings failed"
+    assert len(serial.data["scenarios"]) == 2
+
+
+def test_resume_mid_sweep_is_bit_identical(tmp_path):
+    expected, _ = serial_data("fig3")
+    # a "killed" run: only the first five points made it to disk
+    full = Checkpoint(str(tmp_path / "full.json"))
+    _result, _report = execute("fig3", CONFIG, jobs=1, quick=True,
+                               checkpoint=full)
+    partial_points = dict(list(full.points.items())[:5])
+    partial = Checkpoint(str(tmp_path / "ck.json"))
+    partial.bind("fig3")
+    partial.put_many(partial_points)
+
+    resumed = Checkpoint(str(tmp_path / "ck.json"), resume=True)
+    result, report = execute("fig3", CONFIG, jobs=4, quick=True,
+                             checkpoint=resumed)
+    assert canonical_json(result.data) == expected
+    assert report.from_checkpoint == 5
+    assert report.computed == report.units_planned - 5
+
+
+def test_cache_hits_fold_into_checkpoint(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    execute("table1", CONFIG, jobs=1, cache=cache)
+    ck = Checkpoint(str(tmp_path / "ck.json"))
+    _result, report = execute("table1", CONFIG, jobs=1, cache=cache,
+                              checkpoint=ck)
+    assert report.cache_hits == report.units_planned
+    # a later --resume without the cache skips everything
+    resumed = Checkpoint(str(tmp_path / "ck.json"), resume=True)
+    _result2, report2 = execute("table1", CONFIG, jobs=1,
+                                checkpoint=resumed)
+    assert report2.from_checkpoint == report2.units_planned
+    assert report2.computed == 0
+
+
+def test_observed_run_skips_cache_reads_but_writes(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    execute("table1", CONFIG, jobs=1, cache=cache)
+    assert cache.entries() == 2
+    _result, report = execute("table1", CONFIG, jobs=4, cache=cache,
+                              observed=True)
+    # observed runs simulate everything in-process, read nothing
+    assert report.cache_hits == 0
+    assert report.computed == report.units_planned
+    assert report.jobs == 4  # requested, but forced serial internally
+
+
+def test_seed_changes_cache_address_not_result(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    a, ra = execute("table2", CONFIG, jobs=1, cache=cache, seed=1)
+    b, rb = execute("table2", CONFIG, jobs=1, cache=cache, seed=2)
+    # deterministic simulation: same values, but separately addressed
+    assert canonical_json(a.data) == canonical_json(b.data)
+    assert rb.cache_hits == 0
+    assert cache.entries() == 2 * ra.units_planned

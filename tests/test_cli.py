@@ -5,6 +5,13 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path_factory, monkeypatch):
+    """Keep CLI runs out of the user's real ~/.cache/repro."""
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path_factory.mktemp("repro-cache")))
+
+
 def test_list_prints_every_experiment(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
@@ -152,10 +159,10 @@ def test_corrupt_checkpoint_fails_cleanly(tmp_path, capsys):
 
 def test_checkpoint_note_for_unsupported_experiment(tmp_path, capsys):
     ck = tmp_path / "ck.json"
-    assert main(["table2", "--checkpoint", str(ck)]) == 0
+    assert main(["ablations", "--checkpoint", str(ck)]) == 0
     captured = capsys.readouterr()
     assert "does not support checkpointing" in captured.err
-    assert "Table 2" in captured.out
+    assert "ablations" in captured.out
 
 
 def test_metrics_directory_output(tmp_path, capsys):
@@ -166,3 +173,94 @@ def test_metrics_directory_output(tmp_path, capsys):
                  str(out_dir) + "/"]) == 0
     manifest = json.loads((out_dir / "metrics.json").read_text())
     assert manifest["experiment"]["id"] == "fig2"
+
+
+def test_parser_has_exec_flags():
+    from repro.cli import build_parser
+
+    text = build_parser().format_help()
+    for flag in ("--jobs", "--cache-dir", "--no-cache", "--cache-stats"):
+        assert flag in text
+
+
+def test_jobs_zero_fails_with_actionable_message(capsys):
+    assert main(["fig3", "--jobs", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "--jobs must be >= 1" in err
+    assert "--jobs 1" in err  # tells the user what to type instead
+
+
+def test_list_shows_unit_counts(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for line in out.splitlines():
+        if line.startswith("ablations"):
+            assert "in-process" in line
+        else:
+            assert "units" in line
+
+
+def test_dashdash_list_alias(capsys):
+    assert main(["--list"]) == 0
+    assert "fig3" in capsys.readouterr().out
+
+
+def test_cache_stats_line(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["table1", "--cache-dir", str(cache),
+                 "--cache-stats"]) == 0
+    out = capsys.readouterr().out
+    assert "[exec table1]" in out
+    assert "2 units" in out
+    # second run: every unit served from the cache, nothing recomputed
+    assert main(["table1", "--cache-dir", str(cache),
+                 "--cache-stats"]) == 0
+    out = capsys.readouterr().out
+    assert "0 computed" in out
+    assert "2 hits" in out
+
+
+def test_no_cache_disables_caching(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["table1", "--cache-dir", str(cache), "--no-cache",
+                 "--cache-stats"]) == 0
+    out = capsys.readouterr().out
+    assert "cache" not in out.split("[exec table1]")[1].split("\n")[0] \
+        or "hits" not in out
+    assert not cache.exists()
+
+
+def test_cache_stats_notes_in_process_experiments(capsys):
+    assert main(["ablations", "--cache-stats"]) == 0
+    assert "ran in-process" in capsys.readouterr().out
+
+
+def test_jobs_note_for_in_process_experiment(capsys):
+    assert main(["ablations", "--jobs", "4"]) == 0
+    assert "no work-unit planner" in capsys.readouterr().err
+
+
+def test_parallel_run_matches_serial(capsys):
+    assert main(["table2", "--no-cache", "--jobs", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert main(["table2", "--no-cache"]) == 0
+    serial_out = capsys.readouterr().out
+    assert parallel_out == serial_out
+
+
+def test_bench_quick_writes_json(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--quick", "--jobs", "2", "--bench-out",
+                 str(out), "--bench-experiments", "table1,table2"]) == 0
+    stdout = capsys.readouterr().out
+    assert "Execution trajectory" in stdout
+    doc = json.loads(out.read_text())
+    assert doc["schema_version"] == 1
+    assert doc["jobs"] == 2
+    rows = doc["experiments"]
+    assert rows
+    for exp_id, row in rows.items():
+        assert row["identical"], exp_id
+        assert row["units_resimulated_warm"] == 0, exp_id
