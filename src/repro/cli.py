@@ -13,6 +13,10 @@ Examples::
     python -m repro fig6 --profile            # print counter/span profile
     python -m repro timeline                  # ASCII Gantt of a demo run
     python -m repro timeline --trace t.json   # ... of a captured trace
+    python -m repro memscope fig6             # memory-system profile
+    python -m repro memscope fig6 --json      # ... as JSON
+    python -m repro fig3 --memscope --metrics m.json   # fold into manifest
+    python -m repro bench --compare benchmarks/BENCH_baseline.json
 """
 
 from __future__ import annotations
@@ -33,10 +37,12 @@ def build_parser() -> argparse.ArgumentParser:
                      "Evaluation of the Convex SPP-1000' (SC'95) on the "
                      "simulated machine."))
     parser.add_argument(
-        "experiment",
+        "experiment", nargs="?", default=None,
         help="experiment id (fig2, fig3, ...), 'list', 'all', 'bench' "
-             "(serial vs parallel vs cached wall-clock benchmark), or "
-             "'timeline' (ASCII Gantt view of a trace)")
+             "(serial vs parallel vs cached wall-clock benchmark), "
+             "'timeline' (ASCII Gantt view of a trace), or 'memscope "
+             "<experiment>' (memory-system profile: miss classes, hop "
+             "counts, ring occupancy, hot pages)")
     parser.add_argument(
         "--hypernodes", type=int, default=2,
         help="hypernodes in the simulated machine (default: 2, as measured "
@@ -96,6 +102,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-experiments", metavar="IDS", default=None,
         help="with 'bench': comma-separated experiment ids to benchmark "
              "(default: every unit-aware experiment)")
+    parser.add_argument(
+        "--compare", metavar="PATH", default=None,
+        help="with 'bench': baseline BENCH_exec.json to diff the fresh "
+             "measurements against; exits 1 when any experiment's serial "
+             "path regressed past the noise threshold")
+    parser.add_argument(
+        "--bench-diff-out", metavar="PATH", default=None,
+        help="with 'bench --compare': also write a markdown regression "
+             "report to PATH")
+    parser.add_argument(
+        "--memscope", action="store_true",
+        help="attach the memory-system profiler to the run: print the "
+             "miss-class/occupancy profile and fold a 'memscope' block "
+             "into --metrics manifests")
+    parser.add_argument(
+        "--memscope-sample", type=int, default=1, metavar="N",
+        help="profile 1-in-N accesses for the per-page heat map (aggregate "
+             "miss/hit counters stay exact; default: 1 = every access)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with 'memscope': print the profile as a JSON document "
+             "instead of rendered tables")
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="with 'memscope': how many hot pages / flagged cache lines "
+             "to report (default: 10)")
     return parser
 
 
@@ -161,16 +193,38 @@ def _render_profile(tracer) -> str:
     return "\n\n".join(parts)
 
 
+def _load_trace_checked(path: str):
+    """Load a trace file for rendering, or print why it cannot be used.
+
+    Returns the event list, or ``None`` after printing one actionable
+    line naming the path — shared by ``timeline`` and ``memscope`` so a
+    missing, unreadable, corrupt, or empty trace never tracebacks.
+    """
+    from .obs.export import load_trace
+
+    try:
+        events = load_trace(path)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"cannot read trace file {path}: {reason}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"cannot parse trace file {path}: {exc}; expected a Chrome "
+              "trace JSON or JSONL written by --trace", file=sys.stderr)
+        return None
+    if not events:
+        print(f"trace file {path} contains no events; re-run the "
+              "experiment with --trace to capture one", file=sys.stderr)
+        return None
+    return events
+
+
 def _timeline(args) -> int:
     from .obs.timeline import render_timeline
 
     if args.trace:
-        from .obs.export import load_trace
-
-        try:
-            events = load_trace(args.trace)
-        except OSError as exc:
-            print(f"cannot read trace file: {exc}", file=sys.stderr)
+        events = _load_trace_checked(args.trace)
+        if events is None:
             return 2
         print(render_timeline(events, title=args.trace))
         return 0
@@ -191,6 +245,58 @@ def _timeline(args) -> int:
     return 0
 
 
+def _memscope(args, config) -> int:
+    """``python -m repro memscope`` — the memory-system profiler view."""
+    import json as _json
+
+    from .obs.memscope import (
+        MemScope,
+        memscope_from_trace,
+        placement_probe,
+        render_trace_summary,
+        use_memscope,
+    )
+
+    if args.trace:
+        events = _load_trace_checked(args.trace)
+        if events is None:
+            return 2
+        doc = memscope_from_trace(events)
+        if args.json:
+            print(_json.dumps(doc, indent=2))
+        else:
+            print(render_trace_summary(doc, title=args.trace))
+        return 0
+
+    if not args.experiment:
+        print("memscope needs an experiment id (e.g. 'python -m repro "
+              "memscope fig6') or --trace PATH", file=sys.stderr)
+        return 2
+    from .experiments import resolve_experiment_id
+
+    try:
+        exp_id = resolve_experiment_id(args.experiment)
+    except KeyError:
+        return _unknown_experiment(args.experiment)
+
+    ms = MemScope(config, sample=args.memscope_sample)
+    with use_memscope(ms):
+        _run(exp_id, config=config, quick=args.quick)
+    if ms.machine_accesses == 0:
+        # Model-level experiment: the analytic perfmodel attributed its
+        # miss populations (the 'model' block) but no cycle-level machine
+        # ran.  Probe the machine's actual page placement under this
+        # config so the miss-class breakdown reflects real GCB/SCI paths.
+        placement_probe(config, ms)
+    if args.json:
+        doc = ms.to_dict(top=args.top)
+        doc["experiment"] = exp_id
+        print(_json.dumps(doc, indent=2))
+    else:
+        print(ms.render(title=f"memscope: {exp_id}", top=args.top))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # ``repro run <experiment>`` reads naturally in scripts/CI; the
@@ -200,15 +306,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = argv[1:]
     if argv and argv[0] == "--list":
         argv = ["list"] + argv[1:]
+    memscope_cmd = False
+    if argv and argv[0] == "memscope":
+        memscope_cmd = True
+        argv = argv[1:]
     args = build_parser().parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         print(f"--jobs must be >= 1 (got {args.jobs}): use --jobs 1 for a "
               "serial run or --jobs N to fan work units out to N worker "
               "processes", file=sys.stderr)
         return 2
+    if args.memscope_sample < 1:
+        print(f"--memscope-sample must be >= 1 (got "
+              f"{args.memscope_sample}): 1 profiles every access, N "
+              "profiles one in N", file=sys.stderr)
+        return 2
     if args.seed is not None:
         _seed_rngs(args.seed)
     config = spp1000(n_hypernodes=args.hypernodes)
+    if memscope_cmd:
+        return _memscope(args, config)
+    if args.experiment is None:
+        print("an experiment id (or 'list', 'all', 'bench', 'timeline', "
+              "'memscope') is required; try 'python -m repro list'",
+              file=sys.stderr)
+        return 2
     if args.experiment == "list":
         from .exec import unit_count
 
@@ -257,7 +379,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     multi = len(targets) > 1
-    observing = bool(args.trace or args.metrics or args.profile)
+    observing = bool(args.trace or args.metrics or args.profile
+                     or args.memscope)
     if args.trace:
         args.trace = _resolve_output(args.trace, "trace.json")
     if args.metrics:
@@ -322,12 +445,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             from .sim import Tracer
 
             tracer = Tracer(enabled=True)
-            with use_tracer(tracer), faults_ctx:
+            ms = None
+            if args.memscope:
+                from .obs.memscope import MemScope, use_memscope
+
+                ms = MemScope(config, sample=args.memscope_sample)
+                ms_ctx = use_memscope(ms)
+            else:
+                from contextlib import nullcontext
+
+                ms_ctx = nullcontext()
+            with use_tracer(tracer), ms_ctx, faults_ctx:
                 result, report = run_target()
             print(result.render())
             if args.profile:
                 print()
                 print(_render_profile(tracer))
+            if ms is not None:
+                print()
+                print(ms.render(title=f"memscope: {exp_id}",
+                                top=args.top))
             if args.trace:
                 path = _suffixed(args.trace, exp_id, multi)
                 write_chrome_trace(tracer, path, config)
@@ -337,7 +474,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 write_metrics(
                     result.manifest(
                         config=config, tracer=tracer,
-                        execution=report.to_dict() if report else None),
+                        execution=report.to_dict() if report else None,
+                        memscope=ms),
                     path)
                 print(f"metrics manifest written to {path}")
         else:
@@ -375,7 +513,38 @@ def _bench(args, config) -> int:
     print(render_bench(doc))
     write_bench(doc, args.bench_out)
     print(f"\nbenchmark written to {args.bench_out}")
-    return 0
+    if not args.compare:
+        return 0
+    return _bench_compare(doc, args)
+
+
+def _bench_compare(doc, args) -> int:
+    """Diff a fresh bench document against ``--compare BASELINE``."""
+    import json as _json
+
+    from .exec.bench import compare_bench, markdown_compare, render_compare
+
+    try:
+        with open(args.compare, "r", encoding="utf-8") as fh:
+            baseline = _json.load(fh)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"cannot read bench baseline {args.compare}: {reason}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot parse bench baseline {args.compare}: {exc}; "
+              "expected a BENCH_exec.json written by 'python -m repro "
+              "bench'", file=sys.stderr)
+        return 2
+    report = compare_bench(doc, baseline)
+    print()
+    print(render_compare(report))
+    if args.bench_diff_out:
+        with open(args.bench_diff_out, "w", encoding="utf-8") as fh:
+            fh.write(markdown_compare(report))
+        print(f"\nregression report written to {args.bench_diff_out}")
+    return 1 if report["regressions"] else 0
 
 
 def _run(exp_id: str, **kwargs):

@@ -30,7 +30,7 @@ import time
 from typing import Dict, Optional
 
 from .cache import CACHE_SCHEMA, ResultCache, default_cache_root
-from .fingerprint import clear_fingerprint_cache, code_fingerprint
+from .fingerprint import clear_fingerprint_cache, code_fingerprint, git_sha
 from .pool import PoolStats, WorkerPool
 from .units import (
     PointStore,
@@ -48,7 +48,7 @@ __all__ = [
     "run_unit", "unit_experiments", "PointStore",
     "WorkerPool", "PoolStats",
     "ResultCache", "default_cache_root", "CACHE_SCHEMA",
-    "code_fingerprint", "clear_fingerprint_cache",
+    "code_fingerprint", "git_sha", "clear_fingerprint_cache",
     "ExecutionReport", "execute",
 ]
 

@@ -37,14 +37,16 @@ import os
 import sys
 import tempfile
 import time
+from datetime import datetime, timezone
 from typing import Dict, List, Optional
 
 from ..core.canon import canonical_json
 from ..core.tables import Table
 from . import ResultCache, execute, unit_experiments
-from .fingerprint import code_fingerprint
+from .fingerprint import code_fingerprint, git_sha
 
-__all__ = ["BENCH_SCHEMA", "run_bench", "write_bench", "render_bench"]
+__all__ = ["BENCH_SCHEMA", "run_bench", "write_bench", "render_bench",
+           "compare_bench", "render_compare", "markdown_compare"]
 
 BENCH_SCHEMA = 1
 
@@ -98,6 +100,9 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
                  "python": sys.version.split()[0],
                  "platform": sys.platform},
         "code_fingerprint": code_fingerprint()[:16],
+        "git_sha": git_sha(),
+        "created_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
         "experiments": experiments,
         "totals": {
             "serial_s": round(totals["serial_s"], 4),
@@ -135,3 +140,155 @@ def render_bench(doc: Dict) -> str:
                   f"{totals['parallel_s']:.3f}", f"{totals['cached_s']:.3f}",
                   f"{totals['speedup']:.2f}x", "", "")
     return table.render()
+
+
+# -- the regression observatory -------------------------------------------
+
+def compare_bench(current: Dict, baseline: Dict, *,
+                  threshold: float = 0.25, min_abs_s: float = 0.02,
+                  normalize: Optional[bool] = None) -> Dict:
+    """Diff two bench documents on the serial (uncached, 1-job) path.
+
+    The serial path is the honest one: no cache hits, no pool scheduling
+    noise — a regression there is a real code slowdown, not an artifact
+    of worker placement.  Per shared experiment the report carries the
+    baseline/current serial seconds, the raw ratio, the host-speed
+    *normalized* ratio, and a status:
+
+    * ``regression`` — normalized ratio above ``1 + threshold`` AND the
+      absolute slowdown exceeds ``min_abs_s`` (sub-hundredth-of-a-second
+      deltas are timer noise, never regressions);
+    * ``improved`` — normalized ratio below ``1 - threshold``;
+    * ``ok`` — within the noise band.
+
+    Host-speed normalization divides each ratio by the median ratio
+    across shared experiments, so running the baseline on a fast machine
+    and the current on a slow one does not flag everything; it activates
+    automatically with >= 4 shared experiments (median of fewer is too
+    easily dragged by one genuine regression) unless ``normalize`` forces
+    it on or off.
+    """
+    base_rows = baseline.get("experiments", {})
+    cur_rows = current.get("experiments", {})
+    shared = [e for e in cur_rows if e in base_rows]
+    ratios = {}
+    for exp_id in shared:
+        base_s = float(base_rows[exp_id].get("serial_s", 0.0))
+        cur_s = float(cur_rows[exp_id].get("serial_s", 0.0))
+        ratios[exp_id] = cur_s / base_s if base_s > 0 else 1.0
+    if normalize is None:
+        normalize = len(shared) >= 4
+    norm = 1.0
+    if normalize and ratios:
+        ordered = sorted(ratios.values())
+        mid = len(ordered) // 2
+        norm = (ordered[mid] if len(ordered) % 2
+                else 0.5 * (ordered[mid - 1] + ordered[mid])) or 1.0
+
+    experiments: Dict[str, Dict] = {}
+    regressions, improvements = [], []
+    for exp_id in shared:
+        base_s = float(base_rows[exp_id].get("serial_s", 0.0))
+        cur_s = float(cur_rows[exp_id].get("serial_s", 0.0))
+        ratio = ratios[exp_id]
+        nratio = ratio / norm
+        delta = cur_s - base_s
+        status = "ok"
+        if nratio > 1.0 + threshold and delta > min_abs_s:
+            status = "regression"
+            regressions.append(exp_id)
+        elif nratio < 1.0 - threshold:
+            status = "improved"
+            improvements.append(exp_id)
+        experiments[exp_id] = {
+            "baseline_s": round(base_s, 4),
+            "current_s": round(cur_s, 4),
+            "ratio": round(ratio, 4),
+            "normalized_ratio": round(nratio, 4),
+            "delta_s": round(delta, 4),
+            "status": status,
+        }
+    return {
+        "schema_version": BENCH_SCHEMA,
+        "threshold": threshold,
+        "min_abs_s": min_abs_s,
+        "normalized": bool(normalize),
+        "host_speed_factor": round(norm, 4),
+        "baseline_fingerprint": baseline.get("code_fingerprint"),
+        "current_fingerprint": current.get("code_fingerprint"),
+        "baseline_git_sha": baseline.get("git_sha"),
+        "current_git_sha": current.get("git_sha"),
+        "experiments": experiments,
+        "regressions": regressions,
+        "improvements": improvements,
+        "new": sorted(e for e in cur_rows if e not in base_rows),
+        "missing": sorted(e for e in base_rows if e not in cur_rows),
+    }
+
+
+def render_compare(report: Dict) -> str:
+    """Human table of a :func:`compare_bench` report."""
+    norm = ""
+    if report["normalized"]:
+        norm = f", host factor {report['host_speed_factor']:.2f}"
+    table = Table(
+        f"Serial-path regression check "
+        f"(threshold {report['threshold']:.0%}{norm})",
+        ["experiment", "baseline s", "current s", "ratio", "norm",
+         "status"])
+    for exp_id, row in report["experiments"].items():
+        table.add_row(exp_id, f"{row['baseline_s']:.3f}",
+                      f"{row['current_s']:.3f}", f"{row['ratio']:.2f}x",
+                      f"{row['normalized_ratio']:.2f}x",
+                      row["status"].upper() if row["status"] == "regression"
+                      else row["status"])
+    parts = [table.render()]
+    if report["new"]:
+        parts.append("new experiments (no baseline): "
+                     + ", ".join(report["new"]))
+    if report["missing"]:
+        parts.append("missing vs baseline: " + ", ".join(report["missing"]))
+    if report["regressions"]:
+        parts.append(f"REGRESSIONS: {', '.join(report['regressions'])}")
+    else:
+        parts.append("no serial-path regressions")
+    return "\n".join(parts)
+
+
+def markdown_compare(report: Dict) -> str:
+    """GitHub-flavoured markdown report of a :func:`compare_bench` diff."""
+    lines = ["# Bench regression report", ""]
+    verdict = ("**FAIL** — serial-path regression detected"
+               if report["regressions"] else "**PASS** — no regressions")
+    lines.append(verdict)
+    lines.append("")
+    lines.append(f"- threshold: {report['threshold']:.0%} "
+                 f"(min abs delta {report['min_abs_s']}s)")
+    if report["normalized"]:
+        lines.append(f"- host-speed normalization: on "
+                     f"(median ratio {report['host_speed_factor']:.3f})")
+    for side in ("baseline", "current"):
+        sha = report.get(f"{side}_git_sha")
+        fp = report.get(f"{side}_fingerprint")
+        lines.append(f"- {side}: git `{(sha or 'unknown')[:12]}`, "
+                     f"fingerprint `{fp or 'unknown'}`")
+    lines.append("")
+    lines.append("| experiment | baseline s | current s | ratio | "
+                 "normalized | status |")
+    lines.append("|---|---:|---:|---:|---:|---|")
+    for exp_id, row in report["experiments"].items():
+        status = row["status"]
+        if status == "regression":
+            status = "**REGRESSION**"
+        lines.append(
+            f"| {exp_id} | {row['baseline_s']:.3f} | "
+            f"{row['current_s']:.3f} | {row['ratio']:.2f}x | "
+            f"{row['normalized_ratio']:.2f}x | {status} |")
+    if report["new"]:
+        lines += ["", "New experiments (no baseline entry): "
+                  + ", ".join(f"`{e}`" for e in report["new"])]
+    if report["missing"]:
+        lines += ["", "Missing vs baseline: "
+                  + ", ".join(f"`{e}`" for e in report["missing"])]
+    lines.append("")
+    return "\n".join(lines)

@@ -19,9 +19,10 @@ import hashlib
 import os
 from typing import Dict, Optional
 
-__all__ = ["code_fingerprint", "clear_fingerprint_cache"]
+__all__ = ["code_fingerprint", "git_sha", "clear_fingerprint_cache"]
 
 _CACHE: Dict[str, str] = {}
+_GIT_SHA: Dict[str, Optional[str]] = {}
 
 
 def _package_root() -> str:
@@ -53,6 +54,31 @@ def code_fingerprint(root: Optional[str] = None) -> str:
     return result
 
 
+def git_sha(root: Optional[str] = None) -> Optional[str]:
+    """HEAD commit of the checkout containing ``root`` (memoised).
+
+    Returns ``None`` when the tree is not a git checkout or ``git`` is
+    unavailable — manifests record provenance on a best-effort basis.
+    """
+    root = os.path.abspath(root or _package_root())
+    if root in _GIT_SHA:
+        return _GIT_SHA[root]
+    sha: Optional[str] = None
+    try:
+        import subprocess
+
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=root, timeout=5,
+            capture_output=True, text=True)
+        if out.returncode == 0:
+            sha = out.stdout.strip() or None
+    except (OSError, subprocess.TimeoutExpired):
+        sha = None
+    _GIT_SHA[root] = sha
+    return sha
+
+
 def clear_fingerprint_cache() -> None:
     """Forget memoised fingerprints (tests that rewrite sources)."""
     _CACHE.clear()
+    _GIT_SHA.clear()

@@ -10,6 +10,7 @@ from .base import (
     get_experiment,
     list_experiments,
     register,
+    resolve_experiment_id,
     run_experiment,
 )
 from . import fig2_forkjoin, fig3_barrier, fig4_message
@@ -19,7 +20,8 @@ from .checkpoint import Checkpoint, CheckpointError
 
 __all__ = [
     "ExperimentResult", "register", "get_experiment", "list_experiments",
-    "run_experiment", "Checkpoint", "CheckpointError",
+    "resolve_experiment_id", "run_experiment",
+    "Checkpoint", "CheckpointError",
     "fig2_forkjoin", "fig3_barrier", "fig4_message",
     "fig6_pic", "table1_pic_c90", "degraded",
 ]

@@ -13,7 +13,8 @@ from typing import Callable, Dict, List
 from ..core.tables import Series, Table, render_series
 
 __all__ = ["ExperimentResult", "register", "get_experiment",
-           "list_experiments", "run_experiment", "point_runner"]
+           "list_experiments", "resolve_experiment_id", "run_experiment",
+           "point_runner"]
 
 
 def point_runner(store):
@@ -55,19 +56,20 @@ class ExperimentResult:
         return "\n\n".join(parts)
 
     def manifest(self, *, config=None, tracer=None, phases=None,
-                 execution=None, extra=None) -> Dict:
+                 execution=None, memscope=None, extra=None) -> Dict:
         """The run's ``metrics.json`` manifest (see :mod:`repro.obs`).
 
         Every experiment gets this for free: headline data from
         :attr:`data`, plus — when a tracer observed the run — per-phase
         span times, counter deltas, imbalance factors, and the §4
-        instrumentation-overhead accounting.
+        instrumentation-overhead accounting; ``memscope`` folds in the
+        memory-system profile when one observed the run.
         """
         from ..obs.metrics import build_manifest
 
         return build_manifest(self, config=config, tracer=tracer,
                               phases=phases, execution=execution,
-                              extra=extra)
+                              memscope=memscope, extra=extra)
 
 
 _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
@@ -97,6 +99,24 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
 def list_experiments() -> Dict[str, str]:
     """Mapping of experiment id -> title, in registration order."""
     return dict(_TITLES)
+
+
+def resolve_experiment_id(name: str) -> str:
+    """Map ``name`` to a registered experiment id.
+
+    Accepts the registered id itself (``fig6``) or the defining module's
+    stem (``fig6_pic``), so CLI subcommands can take either spelling.
+    Raises :class:`KeyError` (with the known ids) when neither matches.
+    """
+    if name in _REGISTRY:
+        return name
+    for exp_id, fn in _REGISTRY.items():
+        module = getattr(fn, "__module__", "")
+        if module.rsplit(".", 1)[-1] == name:
+            return exp_id
+    known = ", ".join(sorted(_REGISTRY))
+    raise KeyError(
+        f"unknown experiment {name!r}; known: {known}") from None
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:

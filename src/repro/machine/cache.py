@@ -18,6 +18,12 @@ __all__ = ["DirectMappedCache"]
 class DirectMappedCache:
     """Tag store of a direct-mapped cache with 32-byte lines."""
 
+    #: optional :class:`~repro.obs.memscope.MemScope` + owning CPU id,
+    #: wired by the Machine when a profiler is ambient; class attributes
+    #: keep the unprofiled path at one ``is None`` check per access.
+    memscope = None
+    cpu = -1
+
     def __init__(self, config: MachineConfig):
         self.config = config
         self.n_sets = config.dcache_lines
@@ -43,7 +49,11 @@ class DirectMappedCache:
         """Tag check that records a hit or miss; True on hit."""
         if self.contains(line):
             self.hits += 1
+            if self.memscope is not None:
+                self.memscope.cache_hit(self.cpu, line)
             return True
+        # misses are classified (local/GCB/remote) by the fetch path in
+        # :mod:`repro.machine.system`, not counted here
         self.misses += 1
         return False
 
@@ -66,6 +76,8 @@ class DirectMappedCache:
         if self._tags.get(idx) == line:
             del self._tags[idx]
             self.invalidations += 1
+            if self.memscope is not None:
+                self.memscope.cache_invalidated(self.cpu, line)
             return True
         return False
 

@@ -32,6 +32,10 @@ class LineEntry:
 class HypernodeDirectory:
     """Directory tags of one hypernode (home lines + global cache buffer)."""
 
+    #: optional :class:`~repro.obs.memscope.MemScope` wired by the
+    #: Machine; a class attribute so the unprofiled path costs one check.
+    memscope = None
+
     def __init__(self, hypernode: int):
         self.hypernode = hypernode
         self._entries: Dict[int, LineEntry] = {}
@@ -54,6 +58,8 @@ class HypernodeDirectory:
 
     def add_sharer(self, line: int, cpu: int) -> None:
         self.entry(line).sharers.add(cpu)
+        if self.memscope is not None:
+            self.memscope.dir_event(self.hypernode, "add_sharer")
 
     def remove_sharer(self, line: int, cpu: int) -> None:
         ent = self._entries.get(line)
@@ -62,6 +68,8 @@ class HypernodeDirectory:
             if not ent.sharers:
                 ent.dirty = False
                 del self._entries[line]
+            if self.memscope is not None:
+                self.memscope.dir_event(self.hypernode, "remove_sharer")
 
     def local_sharers(self, line: int, excluding: int = -1) -> List[int]:
         """Local CPUs holding ``line``, minus ``excluding`` (deterministic order)."""
@@ -73,6 +81,8 @@ class HypernodeDirectory:
     def clear_line(self, line: int) -> List[int]:
         """Drop all local sharers of ``line``; returns who was invalidated."""
         ent = self._entries.pop(line, None)
+        if ent is not None and self.memscope is not None:
+            self.memscope.dir_event(self.hypernode, "clear_line")
         return sorted(ent.sharers) if ent else []
 
     # -- global cache buffer ----------------------------------------------
@@ -80,11 +90,16 @@ class HypernodeDirectory:
         return line in self.global_cache_buffer
 
     def gcb_insert(self, line: int) -> None:
-        self.global_cache_buffer.add(line)
+        if line not in self.global_cache_buffer:
+            self.global_cache_buffer.add(line)
+            if self.memscope is not None:
+                self.memscope.dir_event(self.hypernode, "gcb_insert")
 
     def gcb_drop(self, line: int) -> bool:
         if line in self.global_cache_buffer:
             self.global_cache_buffer.remove(line)
+            if self.memscope is not None:
+                self.memscope.dir_event(self.hypernode, "gcb_drop")
             return True
         return False
 

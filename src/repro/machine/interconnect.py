@@ -26,6 +26,10 @@ class Crossbar:
 
     IO_PORT = "io"
 
+    #: optional :class:`~repro.obs.memscope.MemScope` wired by the
+    #: Machine; class attribute so the unprofiled path costs one check.
+    memscope = None
+
     def __init__(self, sim: Simulator, config: MachineConfig, hypernode: int):
         self.sim = sim
         self.config = config
@@ -43,16 +47,25 @@ class Crossbar:
 
         def _go():
             yield port.acquire()
+            ms = self.memscope
+            start = self.sim.now if ms is not None else 0.0
             try:
                 yield self.sim.timeout(cfg.cycles(cfg.crossbar_cycles))
             finally:
                 port.release()
             self.traversals += 1
+            if ms is not None:
+                ms.crossbar_busy(self.hypernode, dst_fu, start,
+                                 cfg.cycles(cfg.crossbar_cycles))
         return self.sim.process(_go())
 
 
 class Ring:
     """One of the four SCI rings."""
+
+    #: optional :class:`~repro.obs.memscope.MemScope` wired by the
+    #: Machine; class attribute so the unprofiled path costs one check.
+    memscope = None
 
     def __init__(self, sim: Simulator, config: MachineConfig, ring_id: int):
         self.sim = sim
@@ -76,12 +89,16 @@ class Ring:
 
         def _go():
             yield self._bus.acquire()
+            ms = self.memscope
+            start = self.sim.now if ms is not None else 0.0
             try:
                 yield self.sim.timeout(hold)
             finally:
                 self._bus.release()
             self.transfers += 1
             self.busy_ns += hold
+            if ms is not None:
+                ms.ring_busy(self.ring_id, start, hold, hops)
         return self.sim.process(_go())
 
 

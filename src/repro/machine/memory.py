@@ -21,6 +21,10 @@ __all__ = ["MemoryBank", "MemorySubsystem"]
 class MemoryBank:
     """One physical bank; serves one line per ``bank_cycles``."""
 
+    #: optional :class:`~repro.obs.memscope.MemScope` wired by the
+    #: Machine; class attribute so the unprofiled path costs one check.
+    memscope = None
+
     def __init__(self, sim: Simulator, config: MachineConfig,
                  home: HomeLocation):
         self.sim = sim
@@ -42,11 +46,15 @@ class MemoryBank:
         """
         def _go():
             yield self._port.acquire()
+            ms = self.memscope
+            start = self.sim.now if ms is not None else 0.0
             try:
                 yield self.sim.timeout(hold_ns)
             finally:
                 self._port.release()
             self.accesses += lines
+            if ms is not None:
+                ms.bank_busy(self.home, start, hold_ns, lines)
         return self.sim.process(_go())
 
 

@@ -39,6 +39,10 @@ class _Entry:
 class SCIList:
     """The sharing list of one memory line."""
 
+    #: optional :class:`~repro.obs.memscope.MemScope`, propagated from
+    #: the owning :class:`SCIDirectory` at list creation.
+    memscope = None
+
     def __init__(self, home_hypernode: int):
         self.home = home_hypernode
         self.head: Optional[int] = None
@@ -61,6 +65,8 @@ class SCIList:
             self._entries[self.head].backward = hypernode
         self._entries[hypernode] = entry
         self.head = hypernode
+        if self.memscope is not None:
+            self.memscope.sci_event("attach")
 
     def detach(self, hypernode: int) -> None:
         """Unlink ``hypernode`` (rollout), patching neighbours' pointers."""
@@ -71,6 +77,8 @@ class SCIList:
             self._entries[entry.backward].forward = entry.forward
         if entry.forward is not None:
             self._entries[entry.forward].backward = entry.backward
+        if self.memscope is not None:
+            self.memscope.sci_event("detach")
 
     def walk(self) -> List[int]:
         """Sharing hypernodes in list order (the order an invalidation visits)."""
@@ -92,6 +100,8 @@ class SCIList:
         order = self.walk()
         self._entries.clear()
         self.head = None
+        if self.memscope is not None:
+            self.memscope.sci_event("purge")
         return order
 
     def check_invariants(self) -> None:
@@ -107,6 +117,10 @@ class SCIList:
 class SCIDirectory:
     """All SCI sharing lists of the system, keyed by line address."""
 
+    #: optional :class:`~repro.obs.memscope.MemScope`, wired by the
+    #: Machine and handed to every list this directory creates.
+    memscope = None
+
     def __init__(self):
         self._lists: Dict[int, SCIList] = {}
 
@@ -115,6 +129,8 @@ class SCIDirectory:
         lst = self._lists.get(line)
         if lst is None:
             lst = SCIList(home_hypernode)
+            if self.memscope is not None:
+                lst.memscope = self.memscope
             self._lists[line] = lst
         elif lst.home != home_hypernode:
             raise ValueError(

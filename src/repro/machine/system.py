@@ -52,6 +52,13 @@ __all__ = ["Machine"]
 _WORD = 8  # value-store granularity (64-bit words)
 
 
+def _ambient_memscope():
+    """Lazy lookup of the ambient memory profiler, avoiding the
+    ``machine -> obs -> tools -> machine`` import cycle at module load."""
+    from ..obs.memscope import active_memscope
+    return active_memscope()
+
+
 class Machine:
     """A fully wired simulated SPP-1000."""
 
@@ -85,6 +92,27 @@ class Machine:
         self._values: Dict[int, object] = {}
         # line -> {cpu: wake event} for spin-waiters
         self._spin_waiters: Dict[int, Dict[int, Event]] = {}
+        # Memory-system profiler: adopt the ambient instance
+        # (``use_memscope``) and wire it into every component that emits
+        # into it.  Without one, every emission point in the machine,
+        # caches, directories, banks, rings and SCI lists pays exactly
+        # one ``is None`` check — the zero-cost contract.
+        self.memscope = _ambient_memscope()
+        if self.memscope is not None:
+            ms = self.memscope
+            ms.attach(self)
+            for cpu, cache in enumerate(self.caches):
+                cache.memscope = ms
+                cache.cpu = cpu
+            for directory in self.directories:
+                directory.memscope = ms
+            self.sci.memscope = ms
+            for bank in self.mem.banks:
+                bank.memscope = ms
+            for ring in self.net.rings:
+                ring.memscope = ms
+            for crossbar in self.net.crossbars:
+                crossbar.memscope = ms
         # Fault injection: like the tracer, adopt the ambient plan
         # (``use_faults``) when no explicit one is given.  Without a plan
         # both attributes stay None and every operation pays exactly one
@@ -209,6 +237,8 @@ class Machine:
         cfg = self.config
         my_hn = loc.hypernode
         my_dir = self.directories[my_hn]
+        ms = self.memscope
+        t_fetch = self.sim.now if ms is not None else 0.0
         if home.hypernode != my_hn:
             yield from self._gate(cpu, home.hypernode)
         if home.hypernode == my_hn:
@@ -221,6 +251,9 @@ class Machine:
                 ent.dirty = False
             yield from self._local_path(my_hn, home.fu, home.bank)
             self.tracer.emit(self.sim.now, "load.miss.local")
+            if ms is not None:
+                ms.miss(cpu, line, "local", home, 0,
+                        self.sim.now - t_fetch, self.sim.now)
         else:
             yield self.sim.timeout(cfg.cycles(cfg.gcb_lookup_cycles))
             if my_dir.gcb_holds(line):
@@ -228,6 +261,9 @@ class Machine:
                 # physically sits in the memory of the FU on the line's ring.
                 yield from self._local_path(my_hn, home.fu, home.bank)
                 self.tracer.emit(self.sim.now, "load.miss.gcb")
+                if ms is not None:
+                    ms.miss(cpu, line, "gcb", home, 0,
+                            self.sim.now - t_fetch, self.sim.now)
             else:
                 sci_list = self.sci.list_for(line, home.hypernode)
                 yield from self._remote_path(my_hn, home,
@@ -238,6 +274,11 @@ class Machine:
                     sci_list.attach(my_hn)
                 my_dir.gcb_insert(line)
                 self.tracer.emit(self.sim.now, "load.miss.remote")
+                if ms is not None:
+                    # outbound ring distance on the unidirectional SCI ring
+                    hops = (home.hypernode - my_hn) % cfg.n_hypernodes
+                    ms.miss(cpu, line, "remote", home, hops,
+                            self.sim.now - t_fetch, self.sim.now)
         victim = self.caches[cpu].insert(line)
         if victim is not None:
             victim_entry = my_dir.peek(victim)
@@ -292,6 +333,9 @@ class Machine:
         yield self.sim.timeout(cfg.clock_ns)
         yield from self._translate(cpu, addr)
         hit = self.caches[cpu].access(line)
+        if self.memscope is not None:
+            # writer/word observation for the sharing-churn detector
+            self.memscope.store(cpu, line, (addr % cfg.line_bytes) // _WORD)
         ent = my_dir.entry(line)
         exclusive = (hit and ent.dirty and ent.sharers == {cpu}
                      and not self._shared_beyond(line, home, my_hn))

@@ -17,7 +17,13 @@ first-class measurement subsystem for the simulated machine:
   attribution (:class:`PhaseAttributor` drives ``tools.hpm.diff`` at
   phase boundaries);
 * :mod:`repro.obs.timeline` — ASCII Gantt rendering of traces
-  (``python -m repro timeline``).
+  (``python -m repro timeline``);
+* :mod:`repro.obs.memscope` — the memory-system profiler: per-access
+  miss classification (local/GCB/SCI-remote with hop counts),
+  directory/SCI transition counters, a false-sharing & ping-pong
+  detector, ring/crossbar occupancy timelines, and page/hypernode
+  hotspot heatmaps (``python -m repro memscope``; see
+  ``docs/memscope.md``).
 
 Zero-cost contract: tracing never advances simulated time, and a fully
 disabled tracer (``Tracer(counting=False)``) costs one no-op call per
@@ -33,7 +39,15 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import build_manifest, span_summary, write_metrics
+from .memscope import (
+    MemScope,
+    active_memscope,
+    memscope_from_trace,
+    placement_probe,
+    use_memscope,
+)
+from .metrics import build_manifest, provenance_stamp, span_summary, \
+    write_metrics
 from .phases import PhaseAttributor, PhaseCounters
 from .timeline import render_timeline, timeline_from_tracer
 
@@ -41,7 +55,9 @@ __all__ = [
     "Tracer", "TraceEvent", "active_tracer", "use_tracer",
     "chrome_trace", "write_chrome_trace", "jsonl_lines", "write_jsonl",
     "load_trace",
-    "build_manifest", "span_summary", "write_metrics",
+    "build_manifest", "provenance_stamp", "span_summary", "write_metrics",
     "PhaseAttributor", "PhaseCounters",
     "render_timeline", "timeline_from_tracer",
+    "MemScope", "active_memscope", "use_memscope", "placement_probe",
+    "memscope_from_trace",
 ]

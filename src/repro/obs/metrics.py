@@ -21,9 +21,29 @@ from ..core.config import MachineConfig
 from ..sim.trace import Tracer
 
 __all__ = ["SCHEMA_VERSION", "span_summary", "build_manifest",
-           "write_metrics"]
+           "provenance_stamp", "write_metrics"]
 
 SCHEMA_VERSION = 1
+
+
+def provenance_stamp() -> Dict:
+    """Host-side provenance tying a manifest to a commit and a source tree.
+
+    Wall-clock creation time (ISO 8601, UTC), the git HEAD of the tree
+    containing the package (None when not in a git checkout), and the
+    package code fingerprint — the same hash the result cache keys on —
+    so observatory diffs can say *which code* produced *which numbers*.
+    """
+    from datetime import datetime, timezone
+
+    from ..exec.fingerprint import code_fingerprint, git_sha
+
+    return {
+        "created_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "git_sha": git_sha(),
+        "code_fingerprint": code_fingerprint()[:16],
+    }
 
 
 def _jsonable(obj):
@@ -87,6 +107,7 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
                    config: Optional[MachineConfig] = None,
                    phases: Optional[List[Dict]] = None,
                    execution: Optional[Dict] = None,
+                   memscope=None,
                    extra: Optional[Dict] = None) -> Dict:
     """Assemble a ``metrics.json`` manifest.
 
@@ -95,10 +116,13 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
     per-phase hpm rows from :class:`~repro.obs.phases.PhaseAttributor`;
     ``execution`` is an :class:`~repro.exec.ExecutionReport` dict (jobs,
     cache hits, units) recorded when the run went through the execution
-    fabric.
+    fabric; ``memscope`` is a :class:`~repro.obs.memscope.MemScope` (or
+    its ``to_dict()``) when the memory profiler observed the run.
+    Every manifest is stamped with :func:`provenance_stamp`.
     """
     manifest: Dict = {"schema_version": SCHEMA_VERSION,
-                      "generator": "repro.obs"}
+                      "generator": "repro.obs",
+                      "provenance": provenance_stamp()}
     if result is not None:
         manifest["experiment"] = {"id": result.experiment_id,
                                   "title": result.title}
@@ -137,6 +161,10 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
         manifest["hpm_phases"] = _jsonable(phases)
     if execution:
         manifest["execution"] = _jsonable(execution)
+    if memscope is not None:
+        block = memscope if isinstance(memscope, dict) \
+            else memscope.to_dict()
+        manifest["memscope"] = _jsonable(block)
     if extra:
         manifest.update(_jsonable(extra))
     return manifest

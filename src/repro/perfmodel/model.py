@@ -37,6 +37,12 @@ __all__ = ["PerformanceModel", "RunResult"]
 _WORD = 8
 
 
+def _ambient_memscope():
+    """Lazy lookup of the ambient memory profiler (import-cycle safe)."""
+    from ..obs.memscope import active_memscope
+    return active_memscope()
+
+
 @dataclass(frozen=True)
 class RunResult:
     """Modelled execution of a workload."""
@@ -97,6 +103,31 @@ class PerformanceModel:
         pipe_cycles = max(phase.flops * cfg.flop_cycles,
                           words * cfg.mem_port_cycles)
 
+        prof = self._miss_profile(phase, team, tid)
+        stall_cycles = prof["misses"] * (
+            prof["local_share"] * prof["local_cost"] * prof["bank_factor"]
+            + prof["remote_share"] * prof["remote_cost"]
+            * prof["ring_factor"] * prof["bank_factor"])
+
+        msg_ns = sum(
+            # a one-way transfer's cost spans sender and receiver; charge
+            # half to each side so a send+recv pair sums to one transfer
+            0.5 * pvm_oneway_ns(cfg, msg.nbytes, msg.remote)
+            for msg in phase.messages)
+        return {"pipe_ns": cfg.cycles(pipe_cycles),
+                "stall_ns": cfg.cycles(stall_cycles),
+                "msg_ns": msg_ns}
+
+    def _miss_profile(self, phase: Phase, team: TeamSpec, tid: int) -> dict:
+        """The modelled miss population of one phase for one thread.
+
+        Shared by :meth:`phase_breakdown` (which prices it) and the
+        memscope model attribution (which counts it): miss count, the
+        local/remote split after GCB reuse, per-miss costs and the
+        contention factors.
+        """
+        cfg = self.config
+        words = phase.traffic_bytes / _WORD
         spill = self.spill_fraction(phase.working_set_bytes, phase.access)
         miss_share = max(spill, cfg.cold_miss_fraction)
         if phase.access is Access.STREAM:
@@ -125,18 +156,10 @@ class PerformanceModel:
         # steps is served at local-miss cost (paper §2.5)
         remote_share = mix.remote * (1.0 - phase.remote_reuse)
         local_share = mix.private + mix.node + mix.remote * phase.remote_reuse
-        stall_cycles = misses * (
-            local_share * local_cost * bank_factor
-            + remote_share * remote_cost * ring_factor * bank_factor)
-
-        msg_ns = sum(
-            # a one-way transfer's cost spans sender and receiver; charge
-            # half to each side so a send+recv pair sums to one transfer
-            0.5 * pvm_oneway_ns(cfg, msg.nbytes, msg.remote)
-            for msg in phase.messages)
-        return {"pipe_ns": cfg.cycles(pipe_cycles),
-                "stall_ns": cfg.cycles(stall_cycles),
-                "msg_ns": msg_ns}
+        return {"misses": misses, "local_cost": local_cost,
+                "remote_cost": remote_cost, "bank_factor": bank_factor,
+                "ring_factor": ring_factor, "local_share": local_share,
+                "remote_share": remote_share}
 
     # -- per-step and full-run time --------------------------------------------
     def step_time_ns(self, step: StepWork, team: TeamSpec) -> float:
@@ -160,6 +183,18 @@ class PerformanceModel:
         if tracer is not None and tracer.enabled:
             self._emit_step_trace(tracer, step, team, per_thread, bar_ns,
                                   critical)
+        ms = _ambient_memscope()
+        if ms is not None:
+            # model-attributed miss profile: how many misses each phase
+            # generates and how they split local vs remote (the same
+            # split phase_breakdown prices into stall time)
+            for tid, phases in enumerate(step.thread_phases):
+                for phase in phases:
+                    prof = self._miss_profile(phase, team, tid)
+                    ms.model_phase(
+                        phase.name, prof["misses"],
+                        prof["misses"] * prof["local_share"],
+                        prof["misses"] * prof["remote_share"])
         return critical
 
     def _emit_step_trace(self, tracer, step: StepWork, team: TeamSpec,

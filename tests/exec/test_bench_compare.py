@@ -1,0 +1,127 @@
+"""The regression observatory: compare_bench and its reports."""
+
+import pytest
+
+from repro.exec.bench import compare_bench, markdown_compare, render_compare
+
+
+def bench_doc(serial, fingerprint="aaaa", sha="a" * 40):
+    return {
+        "schema_version": 1,
+        "code_fingerprint": fingerprint,
+        "git_sha": sha,
+        "experiments": {
+            exp_id: {"serial_s": s, "parallel_s": s, "cached_s": 0.01}
+            for exp_id, s in serial.items()
+        },
+    }
+
+
+BASE = {"fig2": 0.5, "fig3": 1.0, "fig7": 5.0, "scale128": 8.0,
+        "table2": 0.3}
+
+
+def test_self_compare_is_clean():
+    doc = bench_doc(BASE)
+    report = compare_bench(doc, doc)
+    assert report["regressions"] == []
+    assert report["improvements"] == []
+    assert all(row["status"] == "ok"
+               for row in report["experiments"].values())
+    assert all(row["ratio"] == 1.0
+               for row in report["experiments"].values())
+
+
+def test_injected_2x_slowdown_is_flagged():
+    current = dict(BASE)
+    current["fig7"] = BASE["fig7"] * 2
+    report = compare_bench(bench_doc(current), bench_doc(BASE))
+    assert report["regressions"] == ["fig7"]
+    row = report["experiments"]["fig7"]
+    assert row["status"] == "regression"
+    assert row["ratio"] == pytest.approx(2.0)
+    # the other four experiments anchor the median at 1.0
+    assert row["normalized_ratio"] == pytest.approx(2.0)
+
+
+def test_improvement_is_reported_not_failed():
+    current = dict(BASE)
+    current["fig3"] = BASE["fig3"] / 2
+    report = compare_bench(bench_doc(current), bench_doc(BASE))
+    assert report["regressions"] == []
+    assert report["improvements"] == ["fig3"]
+
+
+def test_uniform_host_slowdown_is_normalized_away():
+    # a 3x slower runner shifts every experiment equally: the median
+    # ratio absorbs it and nothing is a regression
+    current = {exp_id: s * 3 for exp_id, s in BASE.items()}
+    report = compare_bench(bench_doc(current), bench_doc(BASE))
+    assert report["normalized"]
+    assert report["host_speed_factor"] == pytest.approx(3.0)
+    assert report["regressions"] == []
+
+
+def test_normalization_off_below_four_experiments():
+    base = {"fig2": 0.5, "fig3": 1.0}
+    current = {"fig2": 1.5, "fig3": 3.0}
+    report = compare_bench(bench_doc(current), bench_doc(base))
+    assert not report["normalized"]
+    assert report["regressions"] == ["fig2", "fig3"]
+
+
+def test_min_abs_guard_ignores_timer_noise():
+    # 10x ratio but a 9 ms absolute delta: below min_abs_s, not real
+    base = dict(BASE, table1=0.001)
+    current = dict(BASE, table1=0.010)
+    report = compare_bench(bench_doc(current), bench_doc(base))
+    assert report["experiments"]["table1"]["status"] == "ok"
+    assert report["regressions"] == []
+
+
+def test_threshold_boundary():
+    current = dict(BASE)
+    current["fig7"] = BASE["fig7"] * 1.2     # +20% < 25% threshold
+    report = compare_bench(bench_doc(current), bench_doc(BASE),
+                           normalize=False)
+    assert report["regressions"] == []
+    current["fig7"] = BASE["fig7"] * 1.3     # +30% > threshold
+    report = compare_bench(bench_doc(current), bench_doc(BASE),
+                           normalize=False)
+    assert report["regressions"] == ["fig7"]
+
+
+def test_new_and_missing_experiments_listed():
+    base = dict(BASE)
+    current = dict(BASE)
+    del current["table2"]
+    current["fig9"] = 1.0
+    report = compare_bench(bench_doc(current), bench_doc(base))
+    assert report["new"] == ["fig9"]
+    assert report["missing"] == ["table2"]
+    assert "fig9" not in report["experiments"]
+
+
+def test_render_and_markdown_reports():
+    current = dict(BASE)
+    current["fig7"] = BASE["fig7"] * 2
+    report = compare_bench(bench_doc(current, "bbbb", "b" * 40),
+                           bench_doc(BASE))
+    text = render_compare(report)
+    assert "REGRESSION" in text and "fig7" in text
+    md = markdown_compare(report)
+    assert "**FAIL**" in md
+    assert "| fig7 |" in md
+    assert "**REGRESSION**" in md
+    clean = markdown_compare(compare_bench(bench_doc(BASE),
+                                           bench_doc(BASE)))
+    assert "**PASS**" in clean
+
+
+def test_fingerprints_carried_through():
+    report = compare_bench(bench_doc(BASE, "cur", "c" * 40),
+                           bench_doc(BASE, "old", "d" * 40))
+    assert report["current_fingerprint"] == "cur"
+    assert report["baseline_fingerprint"] == "old"
+    assert report["current_git_sha"] == "c" * 40
+    assert report["baseline_git_sha"] == "d" * 40

@@ -119,3 +119,43 @@ def test_seed_changes_cache_address_not_result(tmp_path):
     assert canonical_json(a.data) == canonical_json(b.data)
     assert rb.cache_hits == 0
     assert cache.entries() == 2 * ra.units_planned
+
+
+def test_memscope_on_off_is_bit_identical():
+    """The profiler's zero-cost contract at experiment granularity."""
+    from repro.obs import MemScope, use_memscope
+
+    expected, _ = serial_data("fig6")
+    ms = MemScope(CONFIG)
+    with use_memscope(ms):
+        result, _report = execute("fig6", CONFIG, jobs=1, quick=True,
+                                  observed=True)
+    assert canonical_json(result.data) == expected
+    # the profiler did observe the run (model-attributed phases)
+    assert ms.to_dict()["source"] != "empty"
+
+
+def test_memscope_does_not_move_the_simulated_clock():
+    from repro.machine import Machine, MemClass
+    from repro.obs import MemScope, use_memscope
+
+    def drive(machine):
+        region = machine.alloc(8192, MemClass.NEAR_SHARED,
+                               home_hypernode=1)
+
+        def prog():
+            for cpu in (0, 1, 8):
+                for off in range(0, 8192, 32):
+                    yield machine.load(cpu, region.addr(off))
+                    yield machine.store(cpu, region.addr(off), off)
+
+        machine.sim.run(until=machine.sim.process(prog()))
+        return machine.sim.now
+
+    bare = drive(Machine(CONFIG))
+    ms = MemScope(CONFIG)
+    with use_memscope(ms):
+        profiled = drive(Machine(CONFIG))
+    assert profiled == bare
+    assert ms.machine_accesses > 0
+    assert ms.invalidations > 0

@@ -1,0 +1,106 @@
+"""Golden-value tests for memscope's SCI hop-count accounting.
+
+On the unidirectional SCI ring the outbound distance from hypernode
+``s`` to ``d`` is ``(d - s) mod n``, and a full round trip always
+covers the whole circle — ``n x ring_hop_cycles`` of ring time — so
+the remote-miss fetch latency is a pure function of the machine
+config:
+
+    gcb_lookup + issue + 2 x crossbar + 2 x agent + bank
+    + sci_update + n x ring_hop + fill        [cycles]
+
+Memscope must report exactly that per miss, the exact outbound hop
+count per distance, and — under a failed-ring plan — exactly two
+reroute detours more (outbound + return).
+"""
+
+import os
+
+import pytest
+
+from repro.core import spp1000
+from repro.faults import load_plan, use_faults
+from repro.machine import Machine, MemClass
+from repro.obs import MemScope, use_memscope
+
+RING_LOSS = os.path.join(os.path.dirname(__file__), "..", "..",
+                         "examples", "faults", "ring_loss.json")
+
+N_HN = 8
+
+
+def golden_remote_ns(cfg):
+    """The fetch-path latency of one fresh remote miss, from costs."""
+    cycles = (cfg.gcb_lookup_cycles + cfg.issue_cycles
+              + 2 * cfg.crossbar_cycles + 2 * cfg.agent_cycles
+              + cfg.bank_cycles + cfg.sci_update_cycles
+              + cfg.n_hypernodes * cfg.ring_hop_cycles + cfg.fill_cycles)
+    return cfg.cycles(cycles)
+
+
+def remote_load(distance, plan=None):
+    """One load from hypernode 0 of a line homed ``distance`` away."""
+    cfg = spp1000(n_hypernodes=N_HN)
+    ms = MemScope(cfg)
+    with use_memscope(ms):
+        if plan is not None:
+            with use_faults(plan):
+                machine = Machine(cfg)
+        else:
+            machine = Machine(cfg)
+    if plan is not None:
+        machine.sim.run(until=0.0)       # apply the plan's t=0 events
+    region = machine.alloc(4096, MemClass.NEAR_SHARED,
+                           home_hypernode=distance)
+
+    def prog():
+        yield machine.load(0, region.addr(0))
+
+    machine.sim.run(until=machine.sim.process(prog()))
+    return machine, ms, cfg
+
+
+@pytest.mark.parametrize("distance", [1, 2, 4])
+def test_hop_count_and_golden_latency(distance):
+    machine, ms, cfg = remote_load(distance)
+    assert ms.miss_remote == 1
+    assert ms.hop_counts == {distance: 1}
+    assert ms.hop_latency_ns[distance] == golden_remote_ns(cfg)
+    doc = ms.to_dict()
+    assert doc["hops"][str(distance)]["count"] == 1
+    assert doc["hops"][str(distance)]["mean_latency_ns"] == \
+        golden_remote_ns(cfg)
+
+
+def test_round_trip_cost_is_distance_independent():
+    # the return path completes the circle: every distance pays the
+    # same n x ring_hop total, so latencies are identical across hops
+    latencies = set()
+    for distance in (1, 2, 4, 7):
+        _, ms, cfg = remote_load(distance)
+        latencies.add(ms.hop_latency_ns[distance])
+    assert latencies == {golden_remote_ns(cfg)}
+
+
+def test_degraded_ring_adds_two_reroute_detours():
+    plan_cfg = spp1000(n_hypernodes=N_HN)
+    plan = load_plan(RING_LOSS, plan_cfg)
+    machine, ms, cfg = remote_load(1, plan=plan)
+    assert ms.miss_remote == 1
+    assert ms.hop_counts == {1: 1}
+    # page 0 of a NEAR_SHARED region fronts fu 0 == ring 0, which the
+    # plan fails (with ring 1): outbound and return each detour once
+    expected = golden_remote_ns(cfg) + cfg.cycles(
+        2 * cfg.ring_reroute_extra_cycles)
+    assert ms.hop_latency_ns[1] == expected
+
+
+def test_degraded_traffic_lands_on_surviving_ring():
+    plan = load_plan(RING_LOSS, spp1000(n_hypernodes=N_HN))
+    machine, ms, cfg = remote_load(1, plan=plan)
+    occupied = {r for r, st in ms._rings.items() if st["events"]}
+    assert occupied, "no ring occupancy recorded"
+    assert occupied <= {2, 3}, \
+        f"traffic on failed rings 0/1: {sorted(occupied)}"
+    # outbound + return transfers both recorded on the detour ring
+    assert sum(st["events"] for st in ms._rings.values()) == 2

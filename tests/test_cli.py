@@ -264,3 +264,43 @@ def test_bench_quick_writes_json(tmp_path, capsys):
     for exp_id, row in rows.items():
         assert row["identical"], exp_id
         assert row["units_resimulated_warm"] == 0, exp_id
+
+
+def test_cache_stats_report_fields_are_pinned(tmp_path):
+    """The --cache-stats contract: to_dict keys and the render() shape.
+
+    Downstream tooling (manifests' ``execution`` block, the bench
+    observatory) reads these fields by name; renames are breaking.
+    """
+    from repro.core import spp1000
+    from repro.exec import ResultCache, execute
+
+    cache = ResultCache(str(tmp_path / "cache"))
+    _result, report = execute("table1", spp1000(), jobs=1, cache=cache)
+    d = report.to_dict()
+    assert set(d) == {
+        "experiment_id", "jobs", "units_planned", "from_checkpoint",
+        "cache_hits", "cache_misses", "cache_stores", "cache_hit_rate",
+        "computed", "retried_in_process", "fallback_points",
+        "wall_seconds", "cache_root",
+    }
+    assert d["experiment_id"] == "table1"
+    assert d["cache_stores"] == d["units_planned"] == 2
+    line = report.render()
+    assert line.startswith("[exec table1] ")
+    assert "2 units" in line
+    assert "2 computed (1 jobs)" in line
+    assert "2 stored" in line
+    assert "s wall" in line
+
+
+def test_cache_stats_line_warm_run_shows_hits(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["table1", "--cache-dir", str(cache),
+                 "--cache-stats"]) == 0
+    capsys.readouterr()
+    assert main(["table1", "--cache-dir", str(cache),
+                 "--cache-stats"]) == 0
+    line = [ln for ln in capsys.readouterr().out.splitlines()
+            if ln.startswith("[exec table1]")][0]
+    assert "cache 2 hits / 0 misses (100% hit rate)" in line

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Diff two bench documents and emit a markdown regression report.
+
+Standalone front door to :func:`repro.exec.bench.compare_bench` for CI
+and local use when the fresh measurements already exist on disk::
+
+    python tools/bench_diff.py benchmarks/BENCH_baseline.json \
+        BENCH_exec.json -o bench_diff.md
+
+Exits 1 when any experiment's serial path regressed past the threshold,
+2 when either input cannot be read, 0 otherwise.  ``python -m repro
+bench --compare BASELINE`` measures *and* diffs in one step; this script
+only diffs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        here = os.path.dirname(os.path.abspath(__file__))
+        sys.path.insert(0, os.path.join(os.path.dirname(here), "src"))
+
+
+def _load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"cannot read bench file {path}: {reason}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"cannot parse bench file {path}: {exc}; expected a "
+              "BENCH_exec.json written by 'python -m repro bench'",
+              file=sys.stderr)
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Markdown regression report between two bench runs "
+                    "(serial-path wall clock).")
+    parser.add_argument("baseline", help="baseline BENCH_exec.json")
+    parser.add_argument("current", help="fresh BENCH_exec.json to check")
+    parser.add_argument("-o", "--out", metavar="PATH", default=None,
+                        help="write the markdown report to PATH "
+                             "(default: stdout)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="normalized slowdown ratio that counts as a "
+                             "regression (default: 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    _ensure_importable()
+    from repro.exec.bench import (compare_bench, markdown_compare,
+                                  render_compare)
+
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    if baseline is None or current is None:
+        return 2
+    report = compare_bench(current, baseline, threshold=args.threshold)
+    md = markdown_compare(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(md)
+        print(render_compare(report))
+        print(f"\nregression report written to {args.out}")
+    else:
+        print(md)
+    return 1 if report["regressions"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
