@@ -17,10 +17,13 @@ from repro.apps.fem import FEMWorkload, small1_problem
 from repro.core import spp1000
 from repro.machine import Machine
 from repro.obs import (
+    CritScope,
     PhaseAttributor,
     build_manifest,
     render_timeline,
+    scaled_config,
     timeline_from_tracer,
+    use_critscope,
     use_tracer,
 )
 from repro.perfmodel import TeamSpec
@@ -117,8 +120,54 @@ def span_demo() -> None:
     print()
 
 
+def critscope_demo() -> None:
+    """The critical-path workflow: attribute, project, validate.
+
+    Mirrors `python -m repro critscope fig3 --what-if barrier_release=2`
+    and then closes the loop the CLI cannot: actually re-running under
+    the scaled config to check the projection (docs/critpath.md).
+    """
+    print("=== critscope: wait states, critical path, what-if ===")
+    config = spp1000(2)
+
+    def barrier_rounds(cfg):
+        scope = CritScope(cfg)
+        with use_critscope(scope):
+            machine = Machine(cfg)
+            runtime = Runtime(machine)
+            barrier = Barrier(runtime, n_threads=8)
+
+            def child(env, tid):
+                for _ in range(3):
+                    yield env.compute(150 * (tid + 1))  # deliberate skew
+                    yield from barrier.wait(env)
+                return tid
+
+            def main(env):
+                return (yield from env.fork_join(
+                    8, child, Placement.UNIFORM))
+
+            runtime.run(main)
+        return scope
+
+    scope = barrier_rounds(config)
+    print(scope.render(title="critscope: 8-thread barrier rounds", top=5))
+
+    # the Coz-style loop: project a 2x-faster barrier release, then
+    # re-run with the release cost knobs actually halved and compare
+    projection = scope.what_if("barrier_release", 2.0)
+    rerun = barrier_rounds(scaled_config(config, "barrier_release", 2.0))
+    actual = rerun.run_of_interest().makespan
+    print(f"projected with 2x faster release: "
+          f"{projection['projected_total_ns'] / 1e3:.1f} us; "
+          f"actual re-run: {actual / 1e3:.1f} us "
+          f"(error {abs(projection['projected_total_ns'] - actual) / actual:.1%})")
+    print()
+
+
 if __name__ == "__main__":
     hpm_demo()
     cxpa_demo()
     validation_demo()
     span_demo()
+    critscope_demo()

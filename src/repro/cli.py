@@ -16,6 +16,9 @@ Examples::
     python -m repro memscope fig6             # memory-system profile
     python -m repro memscope fig6 --json      # ... as JSON
     python -m repro fig3 --memscope --metrics m.json   # fold into manifest
+    python -m repro critscope fig3            # critical path / wait states
+    python -m repro critscope fig2 --what-if forkjoin=2
+    python -m repro fig3 --critscope --metrics m.json  # fold into manifest
     python -m repro bench --compare benchmarks/BENCH_baseline.json
 """
 
@@ -40,9 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", nargs="?", default=None,
         help="experiment id (fig2, fig3, ...), 'list', 'all', 'bench' "
              "(serial vs parallel vs cached wall-clock benchmark), "
-             "'timeline' (ASCII Gantt view of a trace), or 'memscope "
+             "'timeline' (ASCII Gantt view of a trace), 'memscope "
              "<experiment>' (memory-system profile: miss classes, hop "
-             "counts, ring occupancy, hot pages)")
+             "counts, ring occupancy, hot pages), or 'critscope "
+             "<experiment>' (wait-state and critical-path analysis with "
+             "what-if speedup projections)")
     parser.add_argument(
         "--hypernodes", type=int, default=2,
         help="hypernodes in the simulated machine (default: 2, as measured "
@@ -121,13 +126,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile 1-in-N accesses for the per-page heat map (aggregate "
              "miss/hit counters stay exact; default: 1 = every access)")
     parser.add_argument(
+        "--critscope", action="store_true",
+        help="attach the critical-path analyzer to the run: print the "
+             "per-thread wait-state attribution, critical path and "
+             "what-if projections, and fold a 'critscope' block into "
+             "--metrics manifests")
+    parser.add_argument(
+        "--what-if", action="append", default=None, metavar="CAT=FACTOR",
+        help="with 'critscope': project run time with category CAT sped "
+             "up FACTOR-fold (e.g. barrier_release=2); repeatable")
+    parser.add_argument(
         "--json", action="store_true",
-        help="with 'memscope': print the profile as a JSON document "
-             "instead of rendered tables")
+        help="with 'memscope'/'critscope': print the profile as a JSON "
+             "document instead of rendered tables")
     parser.add_argument(
         "--top", type=int, default=10, metavar="N",
         help="with 'memscope': how many hot pages / flagged cache lines "
-             "to report (default: 10)")
+             "to report; with 'critscope': how many longest critical-path "
+             "spans (default: 10)")
     return parser
 
 
@@ -149,6 +165,10 @@ def _unknown_experiment(exp_id: str) -> int:
     for known_id, title in list_experiments().items():
         print(f"  {known_id:10s} {title}", file=sys.stderr)
     print("  timeline   ASCII Gantt view of a trace", file=sys.stderr)
+    print("  memscope   memory-system profile of an experiment",
+          file=sys.stderr)
+    print("  critscope  wait-state / critical-path analysis of an "
+          "experiment", file=sys.stderr)
     return 2
 
 
@@ -193,37 +213,12 @@ def _render_profile(tracer) -> str:
     return "\n\n".join(parts)
 
 
-def _load_trace_checked(path: str):
-    """Load a trace file for rendering, or print why it cannot be used.
-
-    Returns the event list, or ``None`` after printing one actionable
-    line naming the path — shared by ``timeline`` and ``memscope`` so a
-    missing, unreadable, corrupt, or empty trace never tracebacks.
-    """
-    from .obs.export import load_trace
-
-    try:
-        events = load_trace(path)
-    except OSError as exc:
-        reason = exc.strerror or str(exc)
-        print(f"cannot read trace file {path}: {reason}", file=sys.stderr)
-        return None
-    except ValueError as exc:
-        print(f"cannot parse trace file {path}: {exc}; expected a Chrome "
-              "trace JSON or JSONL written by --trace", file=sys.stderr)
-        return None
-    if not events:
-        print(f"trace file {path} contains no events; re-run the "
-              "experiment with --trace to capture one", file=sys.stderr)
-        return None
-    return events
-
-
 def _timeline(args) -> int:
+    from .obs.export import load_trace_checked
     from .obs.timeline import render_timeline
 
     if args.trace:
-        events = _load_trace_checked(args.trace)
+        events = load_trace_checked(args.trace)
         if events is None:
             return 2
         print(render_timeline(events, title=args.trace))
@@ -249,6 +244,7 @@ def _memscope(args, config) -> int:
     """``python -m repro memscope`` — the memory-system profiler view."""
     import json as _json
 
+    from .obs.export import load_trace_checked
     from .obs.memscope import (
         MemScope,
         memscope_from_trace,
@@ -258,7 +254,7 @@ def _memscope(args, config) -> int:
     )
 
     if args.trace:
-        events = _load_trace_checked(args.trace)
+        events = load_trace_checked(args.trace)
         if events is None:
             return 2
         doc = memscope_from_trace(events)
@@ -297,6 +293,99 @@ def _memscope(args, config) -> int:
     return 0
 
 
+def _parse_what_if(specs):
+    """Parse repeated ``--what-if CAT=FACTOR`` into ``[(cat, factor)]``.
+
+    Returns ``None`` (after one actionable stderr line) on the first
+    malformed spec; an empty input list parses to ``[]``.
+    """
+    from .obs.critscope import WHAT_IF_PARAMS
+
+    scalable = ", ".join(sorted(WHAT_IF_PARAMS)) + ", compute, memory"
+    out = []
+    for spec in specs or []:
+        cat, sep, factor_s = spec.partition("=")
+        if not sep:
+            print(f"--what-if expects CATEGORY=FACTOR (got {spec!r}); "
+                  f"e.g. --what-if barrier_release=2", file=sys.stderr)
+            return None
+        try:
+            factor = float(factor_s)
+        except ValueError:
+            print(f"--what-if factor must be a number (got {factor_s!r} "
+                  f"in {spec!r})", file=sys.stderr)
+            return None
+        if factor <= 0:
+            print(f"--what-if factor must be > 0 (got {factor_s} in "
+                  f"{spec!r}); 2 means 'twice as fast'", file=sys.stderr)
+            return None
+        from .obs.critscope import CATEGORIES
+
+        if cat not in CATEGORIES or cat == "idle":
+            print(f"--what-if category {cat!r} is not projectable; "
+                  f"choose one of: {scalable}", file=sys.stderr)
+            return None
+        out.append((cat, factor))
+    return out
+
+
+def _critscope(args, config) -> int:
+    """``python -m repro critscope`` — wait-state / critical-path view."""
+    import json as _json
+
+    from .obs.critscope import (
+        CritScope,
+        critscope_from_trace,
+        render_trace_summary,
+        use_critscope,
+    )
+    from .obs.export import load_trace_checked
+
+    what_if = _parse_what_if(args.what_if)
+    if what_if is None:
+        return 2
+
+    if args.trace:
+        events = load_trace_checked(args.trace)
+        if events is None:
+            return 2
+        doc = critscope_from_trace(events)
+        if args.json:
+            print(_json.dumps(doc, indent=2))
+        else:
+            print(render_trace_summary(doc, title=args.trace))
+        return 0
+
+    if not args.experiment:
+        print("critscope needs an experiment id (e.g. 'python -m repro "
+              "critscope fig3') or --trace PATH", file=sys.stderr)
+        return 2
+    from .experiments import resolve_experiment_id
+
+    try:
+        exp_id = resolve_experiment_id(args.experiment)
+    except KeyError:
+        return _unknown_experiment(args.experiment)
+
+    cs = CritScope(config)
+    with use_critscope(cs):
+        _run(exp_id, config=config, quick=args.quick)
+    if not any(run.threads for run in cs.runs):
+        print(f"experiment {exp_id!r} ran no cycle-level machine (it is "
+              "an analytic model-level experiment); critscope needs "
+              "simulated threads to attribute — try fig2, fig3, fig4, or "
+              "a PVM experiment", file=sys.stderr)
+        return 2
+    if args.json:
+        doc = cs.to_dict(top=args.top, what_if=what_if or None)
+        doc["experiment"] = exp_id
+        print(_json.dumps(doc, indent=2))
+    else:
+        print(cs.render(title=f"critscope: {exp_id}", top=args.top,
+                        what_if=what_if or None))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # ``repro run <experiment>`` reads naturally in scripts/CI; the
@@ -309,6 +398,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     memscope_cmd = False
     if argv and argv[0] == "memscope":
         memscope_cmd = True
+        argv = argv[1:]
+    critscope_cmd = False
+    if argv and argv[0] == "critscope":
+        critscope_cmd = True
         argv = argv[1:]
     args = build_parser().parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
@@ -326,10 +419,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = spp1000(n_hypernodes=args.hypernodes)
     if memscope_cmd:
         return _memscope(args, config)
+    if critscope_cmd:
+        return _critscope(args, config)
     if args.experiment is None:
         print("an experiment id (or 'list', 'all', 'bench', 'timeline', "
-              "'memscope') is required; try 'python -m repro list'",
-              file=sys.stderr)
+              "'memscope', 'critscope') is required; try 'python -m repro "
+              "list'", file=sys.stderr)
         return 2
     if args.experiment == "list":
         from .exec import unit_count
@@ -380,7 +475,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     multi = len(targets) > 1
     observing = bool(args.trace or args.metrics or args.profile
-                     or args.memscope)
+                     or args.memscope or args.critscope)
+    what_if = _parse_what_if(args.what_if)
+    if what_if is None:
+        return 2
     if args.trace:
         args.trace = _resolve_output(args.trace, "trace.json")
     if args.metrics:
@@ -455,7 +553,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 from contextlib import nullcontext
 
                 ms_ctx = nullcontext()
-            with use_tracer(tracer), ms_ctx, faults_ctx:
+            cs = None
+            if args.critscope:
+                from .obs.critscope import CritScope, use_critscope
+
+                cs = CritScope(config)
+                cs_ctx = use_critscope(cs)
+            else:
+                from contextlib import nullcontext
+
+                cs_ctx = nullcontext()
+            with use_tracer(tracer), ms_ctx, cs_ctx, faults_ctx:
                 result, report = run_target()
             print(result.render())
             if args.profile:
@@ -465,17 +573,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print()
                 print(ms.render(title=f"memscope: {exp_id}",
                                 top=args.top))
+            if cs is not None:
+                print()
+                if any(run.threads for run in cs.runs):
+                    print(cs.render(title=f"critscope: {exp_id}",
+                                    top=args.top,
+                                    what_if=what_if or None))
+                else:
+                    print(f"[critscope {exp_id}] no cycle-level machine "
+                          "ran (analytic model-level experiment); "
+                          "nothing to attribute")
             if args.trace:
                 path = _suffixed(args.trace, exp_id, multi)
                 write_chrome_trace(tracer, path, config)
                 print(f"\ntrace written to {path}")
             if args.metrics:
                 path = _suffixed(args.metrics, exp_id, multi)
+                cs_block = None
+                if cs is not None and any(r.threads for r in cs.runs):
+                    cs_block = cs.to_dict(top=args.top,
+                                          what_if=what_if or None)
                 write_metrics(
                     result.manifest(
                         config=config, tracer=tracer,
                         execution=report.to_dict() if report else None,
-                        memscope=ms),
+                        memscope=ms, critscope=cs_block),
                     path)
                 print(f"metrics manifest written to {path}")
         else:
@@ -508,8 +630,12 @@ def _bench(args, config) -> int:
     jobs = args.jobs if args.jobs is not None else 2
     only = (args.bench_experiments.split(",")
             if args.bench_experiments else None)
-    doc = run_bench(config, jobs=jobs, quick=args.quick,
-                    experiment_ids=only)
+    try:
+        doc = run_bench(config, jobs=jobs, quick=args.quick,
+                        experiment_ids=only)
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
     print(render_bench(doc))
     write_bench(doc, args.bench_out)
     print(f"\nbenchmark written to {args.bench_out}")

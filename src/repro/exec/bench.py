@@ -59,8 +59,33 @@ def _timed(fn):
 
 def run_bench(config, *, jobs: int = 2, quick: bool = False,
               experiment_ids: Optional[List[str]] = None) -> Dict:
-    """Measure serial/parallel/cached wall time per experiment."""
-    targets = list(experiment_ids or unit_experiments())
+    """Measure serial/parallel/cached wall time per experiment.
+
+    Requested ``experiment_ids`` that are unknown or have no work-unit
+    planner are warned about on stderr and skipped (a renamed experiment
+    in a ``--bench-experiments`` list or an old baseline must not abort
+    the whole benchmark); :class:`ValueError` is raised only when
+    nothing benchmarkable remains.
+    """
+    from .. import experiments  # noqa: F401 -- populate the unit registry
+
+    benchable = list(unit_experiments())
+    if experiment_ids:
+        targets = []
+        for exp_id in experiment_ids:
+            if exp_id in benchable:
+                targets.append(exp_id)
+            else:
+                print(f"bench: skipping {exp_id!r} (not a unit-aware "
+                      f"experiment; benchmarkable: "
+                      f"{', '.join(benchable)})", file=sys.stderr)
+        if not targets:
+            raise ValueError(
+                "no benchmarkable experiments among "
+                f"{', '.join(repr(e) for e in experiment_ids)}; "
+                f"unit-aware experiments: {', '.join(benchable)}")
+    else:
+        targets = benchable
     experiments: Dict[str, Dict] = {}
     totals = {"serial_s": 0.0, "parallel_s": 0.0, "cached_s": 0.0}
     for exp_id in targets:

@@ -59,6 +59,12 @@ def _ambient_memscope():
     return active_memscope()
 
 
+def _ambient_critscope():
+    """Lazy lookup of the ambient critical-path analyzer (same reason)."""
+    from ..obs.critscope import active_critscope
+    return active_critscope()
+
+
 class Machine:
     """A fully wired simulated SPP-1000."""
 
@@ -113,6 +119,12 @@ class Machine:
                 ring.memscope = ms
             for crossbar in self.net.crossbars:
                 crossbar.memscope = ms
+        # Critical-path analyzer: adopt the ambient instance
+        # (``use_critscope``) and open this machine's run recorder; the
+        # runtime/pvm layers read ``machine.critscope`` and pay one
+        # ``is None`` check per emission point when it is off.
+        cs = _ambient_critscope()
+        self.critscope = cs.new_run(self) if cs is not None else None
         # Fault injection: like the tracer, adopt the ambient plan
         # (``use_faults``) when no explicit one is given.  Without a plan
         # both attributes stay None and every operation pays exactly one

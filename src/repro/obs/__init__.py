@@ -32,10 +32,18 @@ overhead-correction story mirroring the paper's §4 methodology.
 """
 
 from ..sim.trace import TraceEvent, Tracer, active_tracer, use_tracer
+from .critscope import (
+    CritScope,
+    active_critscope,
+    critscope_from_trace,
+    scaled_config,
+    use_critscope,
+)
 from .export import (
     chrome_trace,
     jsonl_lines,
     load_trace,
+    load_trace_checked,
     write_chrome_trace,
     write_jsonl,
 )
@@ -54,7 +62,9 @@ from .timeline import render_timeline, timeline_from_tracer
 __all__ = [
     "Tracer", "TraceEvent", "active_tracer", "use_tracer",
     "chrome_trace", "write_chrome_trace", "jsonl_lines", "write_jsonl",
-    "load_trace",
+    "load_trace", "load_trace_checked",
+    "CritScope", "active_critscope", "use_critscope", "scaled_config",
+    "critscope_from_trace",
     "build_manifest", "provenance_stamp", "span_summary", "write_metrics",
     "PhaseAttributor", "PhaseCounters",
     "render_timeline", "timeline_from_tracer",

@@ -20,7 +20,7 @@ from ..core.config import MachineConfig
 from ..sim.trace import TraceEvent, Tracer
 
 __all__ = ["chrome_trace", "write_chrome_trace", "jsonl_lines",
-           "write_jsonl", "load_trace"]
+           "write_jsonl", "load_trace", "load_trace_checked"]
 
 _NS_PER_US = 1000.0
 
@@ -127,6 +127,33 @@ def load_trace(path: str) -> List[Dict]:
     if "traceEvents" not in doc and "ph" in doc:  # single-line JSONL
         return [doc]
     return list(doc.get("traceEvents", []))
+
+
+def load_trace_checked(path: str) -> Optional[List[Dict]]:
+    """Load a trace file for rendering, or print why it cannot be used.
+
+    Returns the event list, or ``None`` after printing one actionable
+    line naming the path — shared by the ``timeline``, ``memscope`` and
+    ``critscope`` CLI paths so a missing, unreadable, corrupt, or empty
+    trace never tracebacks.
+    """
+    import sys
+
+    try:
+        events = load_trace(path)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"cannot read trace file {path}: {reason}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"cannot parse trace file {path}: {exc}; expected a Chrome "
+              "trace JSON or JSONL written by --trace", file=sys.stderr)
+        return None
+    if not events:
+        print(f"trace file {path} contains no events; re-run the "
+              "experiment with --trace to capture one", file=sys.stderr)
+        return None
+    return events
 
 
 def _fallback(obj):

@@ -107,7 +107,7 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
                    config: Optional[MachineConfig] = None,
                    phases: Optional[List[Dict]] = None,
                    execution: Optional[Dict] = None,
-                   memscope=None,
+                   memscope=None, critscope=None,
                    extra: Optional[Dict] = None) -> Dict:
     """Assemble a ``metrics.json`` manifest.
 
@@ -116,7 +116,9 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
     per-phase hpm rows from :class:`~repro.obs.phases.PhaseAttributor`;
     ``execution`` is an :class:`~repro.exec.ExecutionReport` dict (jobs,
     cache hits, units) recorded when the run went through the execution
-    fabric; ``memscope`` is a :class:`~repro.obs.memscope.MemScope` (or
+    fabric; ``critscope`` (a :class:`~repro.obs.critscope.CritScope` or
+    its ``to_dict()``) folds the wait-state / critical-path analysis in;
+    ``memscope`` is a :class:`~repro.obs.memscope.MemScope` (or
     its ``to_dict()``) when the memory profiler observed the run.
     Every manifest is stamped with :func:`provenance_stamp`.
     """
@@ -165,6 +167,10 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
         block = memscope if isinstance(memscope, dict) \
             else memscope.to_dict()
         manifest["memscope"] = _jsonable(block)
+    if critscope is not None:
+        block = critscope if isinstance(critscope, dict) \
+            else critscope.to_dict()
+        manifest["critscope"] = _jsonable(block)
     if extra:
         manifest.update(_jsonable(extra))
     return manifest

@@ -29,6 +29,19 @@ _TAG_ALLREDUCE = 4 << 20
 _TAG_GATHER = 5 << 20
 
 
+
+def _mark(task: PvmTask, collective: str, n_tasks: int) -> None:
+    """One tracer instant per collective entry, so traces (and
+    ``critscope --trace``) can count collective phases; the cycle-level
+    wait attribution is inherited from the underlying send/recv."""
+    tracer = task.system.machine.tracer
+    if tracer.enabled:
+        env = task.env
+        tracer.instant(env.now, f"pvm.collective.{collective}", "pvm",
+                       pid=env.hypernode, tid=env.cpu,
+                       args={"tid": task.tid, "n_tasks": n_tasks})
+
+
 def _hypercube_peers(tid: int, n_tasks: int) -> List[int]:
     peers = []
     distance = 1
@@ -44,6 +57,7 @@ def pvm_barrier(task: PvmTask, n_tasks: int, sequence: int = 0):
     """Generator: dissemination barrier over ``n_tasks`` tasks."""
     if n_tasks < 2:
         return
+    _mark(task, "barrier", n_tasks)
     tag = _TAG_BARRIER + sequence
     distance = 1
     while distance < n_tasks:
@@ -57,6 +71,7 @@ def pvm_barrier(task: PvmTask, n_tasks: int, sequence: int = 0):
 def pvm_bcast(task: PvmTask, root: int, n_tasks: int, payload=None,
               nbytes: int = 8, sequence: int = 0):
     """Generator: binomial-tree broadcast; returns the payload everywhere."""
+    _mark(task, "bcast", n_tasks)
     tag = _TAG_BCAST + sequence
     # renumber so the root is rank 0
     rank = (task.tid - root) % n_tasks
@@ -81,6 +96,7 @@ def pvm_reduce(task: PvmTask, root: int, n_tasks: int, value,
                op: Callable, nbytes: int = 8, sequence: int = 0):
     """Generator: binomial-tree reduction; root returns the result,
     everyone else returns None."""
+    _mark(task, "reduce", n_tasks)
     tag = _TAG_REDUCE + sequence
     rank = (task.tid - root) % n_tasks
     acc = value
@@ -106,6 +122,7 @@ def pvm_allreduce(task: PvmTask, n_tasks: int, value, op: Callable,
     Recursive doubling over the largest power-of-two subset, with the
     remainder folded in and the result fanned back out.
     """
+    _mark(task, "allreduce", n_tasks)
     tag = _TAG_ALLREDUCE + sequence
     pow2 = 1
     while pow2 * 2 <= n_tasks:
@@ -142,6 +159,7 @@ def pvm_gather(task: PvmTask, root: int, n_tasks: int, value,
     """Generator: root returns the list of every task's value (tid
     order); everyone else returns None.  Simple linear gather, as early
     PVM applications did."""
+    _mark(task, "gather", n_tasks)
     tag = _TAG_GATHER + sequence
     if task.tid == root:
         out = [None] * n_tasks

@@ -62,9 +62,11 @@ class Request:
         if self._msg is None:
             yield env.spin(self.task._mail_flag, lambda _v: self.test(),
                            info=f"pvm irecv by task {self.task.tid} "
-                                f"(source {self.source}, tag {self.tag})")
+                                f"(source {self.source}, tag {self.tag})",
+                           cat="msg_recv")
         if not self._unpacked:
-            yield env.read_block(self._msg.buffer_addr, self._msg.nbytes)
+            yield env.read_block(self._msg.buffer_addr, self._msg.nbytes,
+                                 cat="msg_recv")
             self.task.received_messages += 1
             self._unpacked = True
         return self._msg.payload
@@ -103,17 +105,20 @@ class PvmTask:
                          pid=env.hypernode, tid=env.cpu,
                          args={"dest": dest_tid, "tag": tag,
                                "nbytes": nbytes})
-        yield env.compute(cfg.pvm_send_overhead_cycles)
+        yield env.compute(cfg.pvm_send_overhead_cycles,
+                          cat="msg_send")
         lease = system.buffers.acquire(self.tid, env.hypernode, nbytes)
         if lease.fresh_pages:
             remote_dest = dest.env.hypernode != env.hypernode
             per_page = (cfg.page_touch_remote_cycles if remote_dest
                         else cfg.page_touch_local_cycles)
-            yield env.compute(per_page * lease.fresh_pages)
+            yield env.compute(per_page * lease.fresh_pages,
+                              cat="msg_send")
         if tracer.enabled:
             tracer.begin(env.now, "pvm.pack", "pvm",
                          pid=env.hypernode, tid=env.cpu)
-        yield env.write_block(lease.addr, nbytes)      # pack
+        yield env.write_block(lease.addr, nbytes,
+                              cat="msg_send")      # pack
         if tracer.enabled:
             tracer.end(env.now, "pvm.pack", "pvm",
                        pid=env.hypernode, tid=env.cpu)
@@ -133,7 +138,8 @@ class PvmTask:
         """Generator: the mailbox insert + notify (one delivery attempt)."""
         env = self.env
         tracer = self.system.machine.tracer
-        yield env.fetch_add(dest._mail_lock, 1)        # mailbox insert lock
+        yield env.fetch_add(dest._mail_lock, 1,
+                            cat="msg_send")        # mailbox insert lock
         dest._mail_seq += 1
         msg = Message(self.tid, dest.tid, tag, nbytes, payload,
                       lease.addr, dest._mail_seq, send_seq)
@@ -144,7 +150,10 @@ class PvmTask:
                            pid=dest.env.hypernode, tid=dest.env.cpu,
                            args={"source": self.tid, "dest": dest.tid,
                                  "tag": tag, "nbytes": nbytes})
-        yield env.store(dest._mail_flag, dest._mail_seq)   # notify
+        # the notify store resolves the receiver's mail-flag spin:
+        # the message send -> recv edge of the dependency graph
+        yield env.store(dest._mail_flag, dest._mail_seq,
+                        cat="msg_send")   # notify
 
     def _post_reliable(self, dest: "PvmTask", payload, nbytes: int,
                        tag: int, lease, faults):
@@ -190,8 +199,10 @@ class PvmTask:
                     # retransmission of an already-delivered message: the
                     # receiver drops it, but the wire work still happens
                     tracer.emit(env.now, "pvm.dup_drop")
-                    yield env.fetch_add(dest._mail_lock, 1)
-                    yield env.store(dest._mail_flag, dest._mail_seq)
+                    yield env.fetch_add(dest._mail_lock, 1,
+                                        cat="msg_send")
+                    yield env.store(dest._mail_flag, dest._mail_seq,
+                                    cat="msg_send")
                 else:
                     dest._seen_seqs.add(key)
                     yield from self._post(dest, payload, nbytes, tag,
@@ -203,10 +214,17 @@ class PvmTask:
             else:
                 # lost/corrupt: the attempt's wire work is still charged
                 tracer.emit(env.now, f"pvm.{fate}")
-                yield env.fetch_add(dest._mail_lock, 1)
-                yield env.store(dest._mail_flag, dest._mail_seq)
+                yield env.fetch_add(dest._mail_lock, 1,
+                                    cat="msg_send")
+                yield env.store(dest._mail_flag, dest._mail_seq,
+                                cat="msg_send")
             tracer.emit(env.now, "pvm.timeout")
+            cr = env.crit
+            t_backoff = env.now if cr is not None else 0.0
             yield sim.timeout(timeout_ns * policy.backoff ** attempt)
+            if cr is not None:
+                # retransmission backoff counts as message-send time
+                cr.segment(env.tid, t_backoff, env.now, "msg_send")
         raise TaskFailedError(
             f"send to task {dest.tid} failed after {attempts} attempts "
             f"(tag {tag}, {nbytes} bytes): retransmission budget "
@@ -220,16 +238,19 @@ class PvmTask:
             tracer.begin(env.now, "pvm.recv", "pvm",
                          pid=env.hypernode, tid=env.cpu,
                          args={"source": source, "tag": tag})
-        yield env.compute(cfg.pvm_recv_overhead_cycles)
+        yield env.compute(cfg.pvm_recv_overhead_cycles,
+                          cat="msg_recv")
         msg = self._take(source, tag)
         if msg is None:
             yield env.spin(self._mail_flag,
                            lambda _v: self._peek(source, tag) is not None,
                            info=f"pvm recv by task {self.tid} "
-                                f"(source {source}, tag {tag})")
+                                f"(source {source}, tag {tag})",
+                           cat="msg_recv")
             msg = self._take(source, tag)
             assert msg is not None
-        yield env.read_block(msg.buffer_addr, msg.nbytes)  # access/unpack
+        yield env.read_block(msg.buffer_addr, msg.nbytes,
+                             cat="msg_recv")  # access/unpack
         self.received_messages += 1
         if tracer.enabled:
             tracer.end(env.now, "pvm.recv", "pvm",

@@ -46,9 +46,10 @@ class Barrier:
         """Generator: block until all ``n_threads`` threads have arrived."""
         cfg = self._cfg
         tracer = self.runtime.machine.tracer
-        yield env.compute(cfg.barrier_entry_cycles)
+        yield env.compute(cfg.barrier_entry_cycles, cat="barrier_wait")
         generation = self._generation
-        arrived = yield env.fetch_add(self._count_addr, 1)
+        arrived = yield env.fetch_add(self._count_addr, 1,
+                                      cat="barrier_wait")
         if tracer.enabled:
             tracer.instant(env.now, "barrier.arrive", "runtime",
                            pid=env.hypernode, tid=env.cpu,
@@ -56,10 +57,12 @@ class Barrier:
                                  "arrived": arrived + 1})
         if arrived == self.n_threads - 1:
             # Last in: reset the semaphore and release the spinners.
-            yield env.fetch_add(self._count_addr, -self.n_threads)
+            yield env.fetch_add(self._count_addr, -self.n_threads,
+                                cat="barrier_release")
             self._generation = generation + 1
             self._releaser_hn = env.hypernode
-            yield env.store(self._flag_addr, self._generation)
+            yield env.store(self._flag_addr, self._generation,
+                            cat="barrier_release")
             if tracer.enabled:
                 tracer.instant(env.now, "barrier.open", "runtime",
                                pid=env.hypernode, tid=env.cpu,
@@ -70,14 +73,21 @@ class Barrier:
         target = generation + 1
         yield env.spin(self._flag_addr, lambda v: v >= target,
                        info=f"barrier@{self._flag_addr:#x} "
-                            f"(n={self.n_threads}, generation {target})")
+                            f"(n={self.n_threads}, generation {target})",
+                       cat="barrier_wait")
         # Scheduler puts released threads back on core one at a time.
+        cr = env.crit
+        t_dispatch = env.now if cr is not None else 0.0
         yield self._dispatch.acquire()
+        if cr is not None:
+            # queueing for the serialised re-dispatch is part of the
+            # linear LILO release term the paper measures (§4.2)
+            cr.segment(env.tid, t_dispatch, env.now, "barrier_release")
         try:
             cycles = cfg.barrier_release_per_thread_cycles
             if env.hypernode != self._releaser_hn:
                 cycles += cfg.remote_release_extra_cycles
-            yield env.compute(cycles)
+            yield env.compute(cycles, cat="barrier_release")
         finally:
             self._dispatch.release()
         if tracer.enabled:

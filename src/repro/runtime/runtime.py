@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 
 from ..machine import Machine, MemClass
 from ..machine.address import Region
-from .scheduler import Placement, assign, hypernodes_used
+from .scheduler import Placement, assign, hypernodes_used, team_geometry
 
 __all__ = ["ThreadEnv", "Runtime", "AsyncThread"]
 
@@ -45,13 +45,23 @@ class AsyncThread:
         cfg = self.runtime.config
         if not self.finished:
             yield env.spin(self._done_flag, lambda v: v == 1,
-                           info=f"join of async thread {self.tid}")
-        yield env.compute(cfg.join_per_thread_cycles)
+                           info=f"join of async thread {self.tid}",
+                           cat="forkjoin")
+        yield env.compute(cfg.join_per_thread_cycles, cat="forkjoin")
         return self.result
 
 
 class ThreadEnv:
-    """A thread's handle on the machine: all operations are CPU-bound."""
+    """A thread's handle on the machine: all operations are CPU-bound.
+
+    Every operation takes an optional ``cat`` — the wait-state category
+    the elapsed simulated time is attributed to when a critical-path
+    analyzer is installed (see :mod:`repro.obs.critscope`).  Defaults:
+    ``compute`` for computation, ``memory`` for memory operations, and
+    ``lock`` for bare spins (application-level spinning is contention).
+    With no analyzer installed (``self.crit is None``) each operation
+    pays exactly one ``is None`` check — the zero-cost contract.
+    """
 
     def __init__(self, runtime: "Runtime", tid: int, cpu: int):
         self.runtime = runtime
@@ -60,39 +70,85 @@ class ThreadEnv:
         self.tid = tid
         self.cpu = cpu
         self.hypernode = runtime.machine.topology.hypernode_of(cpu)
+        self.crit = runtime.machine.critscope
 
     # -- time -----------------------------------------------------------
     @property
     def now(self) -> float:
         return self.sim.now
 
-    def compute(self, cycles: float):
+    def _record(self, ev, cat: str):
+        """Attribute ``ev``'s elapsed simulated time to ``cat`` when it
+        completes.  Never advances simulated time: the completion hook
+        only reads the clock."""
+        cr, tid, sim, t0 = self.crit, self.tid, self.sim, self.sim.now
+        ev.callbacks.append(
+            lambda _e: cr.segment(tid, t0, sim.now, cat))
+        return ev
+
+    def compute(self, cycles: float, cat: str = "compute"):
         """Event: execute ``cycles`` of computation."""
-        return self.machine.compute(self.cpu, cycles)
+        ev = self.machine.compute(self.cpu, cycles)
+        if self.crit is not None:
+            self._record(ev, cat)
+        return ev
 
     def timestamp(self):
         """Process: read the clock (costs timer overhead); returns time."""
-        return self.machine.timestamp(self.cpu)
+        proc = self.machine.timestamp(self.cpu)
+        if self.crit is not None:
+            self._record(proc, "compute")
+        return proc
 
     # -- memory -----------------------------------------------------------
-    def load(self, addr: int):
-        return self.machine.load(self.cpu, addr)
+    def load(self, addr: int, cat: str = "memory"):
+        proc = self.machine.load(self.cpu, addr)
+        if self.crit is not None:
+            self._record(proc, cat)
+        return proc
 
-    def store(self, addr: int, value):
-        return self.machine.store(self.cpu, addr, value)
+    def store(self, addr: int, value, cat: str = "memory"):
+        cr = self.crit
+        if cr is not None:
+            # writer resolution is recorded at the store's *start*:
+            # causally before any spinner the invalidation walk wakes
+            cr.note_write(addr, self.tid, self.sim.now)
+        proc = self.machine.store(self.cpu, addr, value)
+        if cr is not None:
+            self._record(proc, cat)
+        return proc
 
-    def fetch_add(self, addr: int, delta=1):
-        return self.machine.fetch_add(self.cpu, addr, delta)
+    def fetch_add(self, addr: int, delta=1, cat: str = "memory"):
+        cr = self.crit
+        if cr is not None:
+            cr.note_write(addr, self.tid, self.sim.now)
+        proc = self.machine.fetch_add(self.cpu, addr, delta)
+        if cr is not None:
+            self._record(proc, cat)
+        return proc
 
-    def read_block(self, addr: int, nbytes: int):
-        return self.machine.read_block(self.cpu, addr, nbytes)
+    def read_block(self, addr: int, nbytes: int, cat: str = "memory"):
+        proc = self.machine.read_block(self.cpu, addr, nbytes)
+        if self.crit is not None:
+            self._record(proc, cat)
+        return proc
 
-    def write_block(self, addr: int, nbytes: int):
-        return self.machine.write_block(self.cpu, addr, nbytes)
+    def write_block(self, addr: int, nbytes: int, cat: str = "memory"):
+        proc = self.machine.write_block(self.cpu, addr, nbytes)
+        if self.crit is not None:
+            self._record(proc, cat)
+        return proc
 
-    def spin(self, addr: int, predicate, info: Optional[str] = None):
+    def spin(self, addr: int, predicate, info: Optional[str] = None,
+             cat: str = "lock"):
         """``info`` names what is awaited, for watchdog stall reports."""
-        return self.machine.spin_until(self.cpu, addr, predicate, info)
+        proc = self.machine.spin_until(self.cpu, addr, predicate, info)
+        cr = self.crit
+        if cr is not None:
+            tid, sim, t0 = self.tid, self.sim, self.sim.now
+            proc.callbacks.append(
+                lambda _e: cr.wait(tid, t0, sim.now, cat, addr))
+        return proc
 
     def alloc_private(self, size: int, label: str = "") -> Region:
         """Thread-private memory homed on this thread's functional unit."""
@@ -166,8 +222,14 @@ class Runtime:
     def run(self, body, cpu: int = 0):
         """Run ``body(env)`` as the main thread; returns its result."""
         env = self.main_env(cpu)
+        cr = self.machine.critscope
+        if cr is not None:
+            cr.thread_begin(env.tid, env.cpu, env.hypernode, self.sim.now)
         proc = self.sim.process(body(env))
-        return self.sim.run(until=proc)
+        result = self.sim.run(until=proc)
+        if cr is not None:
+            cr.thread_end(env.tid, self.sim.now)
+        return result
 
     # -- fork-join -------------------------------------------------------------
     def _fork_join(self, parent: ThreadEnv, n_threads: int, body,
@@ -177,6 +239,10 @@ class Runtime:
         tracer = machine.tracer
         cpus = assign(cfg, n_threads, placement)
         target_hns = hypernodes_used(cfg, cpus)
+        cr = machine.critscope
+        if cr is not None:
+            cr.team(parent.tid, n_threads, team_geometry(cfg, cpus),
+                    placement.name)
         if tracer.enabled:
             tracer.begin(self.sim.now, "fork_join", "runtime",
                          pid=parent.hypernode, tid=parent.cpu,
@@ -189,7 +255,8 @@ class Runtime:
         for hn in target_hns:
             if hn not in self._touched_hypernodes:
                 self._touched_hypernodes.add(hn)
-                yield parent.compute(cfg.cross_node_setup_cycles)
+                yield parent.compute(cfg.cross_node_setup_cycles,
+                                     cat="forkjoin")
 
         join_count = self.alloc_sync_word(parent.hypernode)
         done_flag = self.alloc_sync_word(parent.hypernode)
@@ -199,13 +266,18 @@ class Runtime:
             spawn_cycles = cfg.spawn_local_cycles
             if child_hn != parent.hypernode:
                 spawn_cycles += cfg.spawn_remote_extra_cycles
-            yield parent.compute(spawn_cycles)
+            yield parent.compute(spawn_cycles, cat="forkjoin")
             # The work descriptor lives on the child's hypernode: handing
             # work to a remote CPU pays a remote ownership transfer.
             desc = self.alloc_sync_word(child_hn)
-            yield parent.store(desc, tid_in_team)
+            yield parent.store(desc, tid_in_team, cat="forkjoin")
             child_env = ThreadEnv(self, self._next_tid, cpu)
             self._next_tid += 1
+            if cr is not None:
+                # the fork edge: the child's existence depends on this
+                # point of the parent's timeline
+                cr.thread_begin(child_env.tid, cpu, child_hn,
+                                self.sim.now, parent=parent.tid)
             if tracer.enabled:
                 tracer.instant(self.sim.now, "thread.spawn", "runtime",
                                pid=child_hn, tid=cpu,
@@ -215,8 +287,10 @@ class Runtime:
                 n_threads, results))
 
         yield parent.spin(done_flag, lambda v: v == 1,
-                          info=f"join of {n_threads}-thread team")
-        yield parent.compute(cfg.join_per_thread_cycles * n_threads)
+                          info=f"join of {n_threads}-thread team",
+                          cat="forkjoin")
+        yield parent.compute(cfg.join_per_thread_cycles * n_threads,
+                             cat="forkjoin")
         if tracer.enabled:
             tracer.end(self.sim.now, "fork_join", "runtime",
                        pid=parent.hypernode, tid=parent.cpu)
@@ -234,27 +308,34 @@ class Runtime:
         child_hn = machine.topology.hypernode_of(cpu)
         if child_hn not in self._touched_hypernodes:
             self._touched_hypernodes.add(child_hn)
-            yield parent.compute(cfg.cross_node_setup_cycles)
+            yield parent.compute(cfg.cross_node_setup_cycles,
+                                 cat="forkjoin")
         spawn_cycles = cfg.spawn_local_cycles
         if child_hn != parent.hypernode:
             spawn_cycles += cfg.spawn_remote_extra_cycles
-        yield parent.compute(spawn_cycles)
+        yield parent.compute(spawn_cycles, cat="forkjoin")
         desc = self.alloc_sync_word(child_hn)
-        yield parent.store(desc, 1)
+        yield parent.store(desc, 1, cat="forkjoin")
         done_flag = self.alloc_sync_word(child_hn)
         child_env = ThreadEnv(self, self._next_tid, cpu)
         self._next_tid += 1
         handle = AsyncThread(self, child_env.tid, cpu, done_flag)
+        cr = machine.critscope
+        if cr is not None:
+            cr.thread_begin(child_env.tid, cpu, child_hn, self.sim.now,
+                            parent=parent.tid)
         tracer = machine.tracer
         if tracer.enabled:
             tracer.instant(self.sim.now, "thread.spawn_async", "runtime",
                            pid=child_hn, tid=cpu, args={"tid": handle.tid})
 
         def child():
-            yield child_env.load(desc)
+            yield child_env.load(desc, cat="forkjoin")
             result = yield from body(child_env, child_env.tid)
             handle.result = result
-            yield child_env.store(done_flag, 1)
+            yield child_env.store(done_flag, 1, cat="forkjoin")
+            if cr is not None:
+                cr.thread_end(child_env.tid, self.sim.now)
 
         self.sim.process(child())
         return handle
@@ -264,7 +345,7 @@ class Runtime:
                results: List):
         tracer = self.machine.tracer
         # pick up the work descriptor
-        yield env.load(desc)
+        yield env.load(desc, cat="forkjoin")
         if tracer.enabled:
             tracer.begin(self.sim.now, "thread", "runtime",
                          pid=env.hypernode, tid=env.cpu,
@@ -274,7 +355,9 @@ class Runtime:
         if tracer.enabled:
             tracer.end(self.sim.now, "thread", "runtime",
                        pid=env.hypernode, tid=env.cpu)
-        old = yield env.fetch_add(join_count, 1)
+        old = yield env.fetch_add(join_count, 1, cat="forkjoin")
         if old == n_threads - 1:
             # last child releases the joining parent through the cache
-            yield env.store(done_flag, 1)
+            yield env.store(done_flag, 1, cat="forkjoin")
+        if env.crit is not None:
+            env.crit.thread_end(env.tid, self.sim.now)

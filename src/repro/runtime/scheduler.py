@@ -17,7 +17,7 @@ from typing import List
 
 from ..core.config import MachineConfig
 
-__all__ = ["Placement", "assign"]
+__all__ = ["Placement", "assign", "hypernodes_used", "team_geometry"]
 
 
 class Placement(enum.Enum):
@@ -52,6 +52,20 @@ def assign(config: MachineConfig, n_threads: int,
             cpus.append(hn * per_hn + idx)
         return cpus
     raise TypeError(f"unknown placement {placement!r}")
+
+
+def team_geometry(config: MachineConfig, cpus: List[int]):
+    """Per-hypernode thread counts for a CPU assignment.
+
+    The shape the critical-path analyzer records per fork-join team, so
+    reports can say *where* a team ran (e.g. ``{0: 8, 1: 4}`` — Figure
+    2's spill onto a second hypernode) without re-deriving placement.
+    """
+    counts = {}
+    for cpu in cpus:
+        hn = cpu // config.cpus_per_hypernode
+        counts[hn] = counts.get(hn, 0) + 1
+    return counts
 
 
 def hypernodes_used(config: MachineConfig, cpus: List[int]) -> List[int]:

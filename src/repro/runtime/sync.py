@@ -28,7 +28,7 @@ class CountingSemaphore:
 
     def add(self, env: ThreadEnv, delta: int = 1):
         """Generator: atomically add ``delta``; returns the old value."""
-        old = yield env.fetch_add(self.addr, delta)
+        old = yield env.fetch_add(self.addr, delta, cat="lock")
         return old
 
     @property
@@ -52,12 +52,12 @@ class CriticalSection:
 
     def acquire(self, env: ThreadEnv):
         """Generator: block until the lock is held by this thread."""
-        ticket = yield env.fetch_add(self.ticket_addr, 1)
-        serving = yield env.load(self.serving_addr)
+        ticket = yield env.fetch_add(self.ticket_addr, 1, cat="lock")
+        serving = yield env.load(self.serving_addr, cat="lock")
         if serving != ticket:
             yield env.spin(self.serving_addr, lambda v: v == ticket,
                            info=f"ticket lock@{self.serving_addr:#x} "
-                                f"(ticket {ticket})")
+                                f"(ticket {ticket})", cat="lock")
         tracer = self.runtime.machine.tracer
         if tracer.enabled:
             tracer.instant(env.now, "lock.acquire", "runtime",
@@ -67,8 +67,9 @@ class CriticalSection:
 
     def release(self, env: ThreadEnv):
         """Generator: hand the lock to the next ticket holder."""
-        serving = yield env.load(self.serving_addr)
-        yield env.store(self.serving_addr, serving + 1)
+        serving = yield env.load(self.serving_addr, cat="lock")
+        # the lock hand-off: this store resolves the next ticket's spin
+        yield env.store(self.serving_addr, serving + 1, cat="lock")
         tracer = self.runtime.machine.tracer
         if tracer.enabled:
             tracer.instant(env.now, "lock.release", "runtime",
@@ -91,14 +92,14 @@ class Gate:
 
     def wait(self, env: ThreadEnv):
         """Generator: block until the gate is open."""
-        value = yield env.load(self.addr)
+        value = yield env.load(self.addr, cat="lock")
         if value != 1:
             yield env.spin(self.addr, lambda v: v == 1,
-                           info=f"gate@{self.addr:#x}")
+                           info=f"gate@{self.addr:#x}", cat="lock")
 
     def open(self, env: ThreadEnv):
         """Generator: open the gate, releasing all waiters."""
-        yield env.store(self.addr, 1)
+        yield env.store(self.addr, 1, cat="lock")
 
     def close(self, env: ThreadEnv):
         """Generator: re-arm the gate."""

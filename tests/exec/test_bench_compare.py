@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.exec.bench import compare_bench, markdown_compare, render_compare
+from repro.exec.bench import (compare_bench, markdown_compare,
+                              render_compare, run_bench)
 
 
 def bench_doc(serial, fingerprint="aaaa", sha="a" * 40):
@@ -116,6 +117,29 @@ def test_render_and_markdown_reports():
     clean = markdown_compare(compare_bench(bench_doc(BASE),
                                            bench_doc(BASE)))
     assert "**PASS**" in clean
+
+
+def test_run_bench_skips_unknown_experiments(capsys):
+    # A renamed/unknown id in --bench-experiments (or carried over from
+    # an old baseline) must warn-and-skip, not abort with a KeyError.
+    from repro.core import spp1000
+
+    doc = run_bench(spp1000(1), jobs=1, quick=True,
+                    experiment_ids=["fig2", "renamed_away"])
+    err = capsys.readouterr().err
+    assert "skipping 'renamed_away'" in err
+    assert list(doc["experiments"]) == ["fig2"]
+
+
+def test_run_bench_errors_when_nothing_benchmarkable():
+    from repro.core import spp1000
+
+    with pytest.raises(ValueError) as ei:
+        run_bench(spp1000(1), quick=True,
+                  experiment_ids=["nope1", "nope2"])
+    msg = str(ei.value)
+    assert "no benchmarkable experiments" in msg
+    assert "fig2" in msg  # names the valid choices
 
 
 def test_fingerprints_carried_through():

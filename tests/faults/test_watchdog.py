@@ -54,6 +54,37 @@ def test_drained_queue_becomes_diagnostic_deadlock():
     assert "last progress at" in err.report
 
 
+def test_pvm_recv_stall_report_names_source_and_time():
+    # Task 1 receives from task 0, which finishes without ever sending:
+    # the queue drains and the watchdog must name the wedged recv (who,
+    # source, tag) and when it last made progress in simulated time.
+    from repro.pvm import PvmSystem
+
+    plan = plan_from_dict({"watchdog": {"interval_us": 50,
+                                        "timeout_us": 100000}})
+    with use_faults(plan):
+        machine = Machine(spp1000(1))
+    pvm = PvmSystem(Runtime(machine))
+
+    def body(task, tid):
+        if tid == 0:
+            yield task.env.compute(100)
+            return None
+        payload = yield from task.recv(0, tag=7)
+        return payload
+
+    with pytest.raises(DeadlockError) as ei:
+        pvm.run_tasks(2, body)
+    err = ei.value
+    assert "waiters blocked" in str(err)
+    assert err.now is not None and err.now > 0
+    assert err.report is not None
+    # the blocking resource: which task's recv, from whom, on which tag
+    assert "pvm recv by task 1 (source 0, tag 7)" in err.report
+    # and the simulated time it has been wedged since
+    assert "last progress at t=" in err.report
+
+
 def test_stall_detected_while_machine_still_runs():
     machine = wedged_machine({"interval_us": 50, "timeout_us": 200})
 
