@@ -18,12 +18,14 @@ from repro.core import spp1000
 from repro.machine import Machine
 from repro.obs import (
     CritScope,
+    HostScope,
     PhaseAttributor,
     build_manifest,
     render_timeline,
     scaled_config,
     timeline_from_tracer,
     use_critscope,
+    use_hostscope,
     use_tracer,
 )
 from repro.perfmodel import TeamSpec
@@ -165,9 +167,44 @@ def critscope_demo() -> None:
     print()
 
 
+def hostscope_demo() -> None:
+    """The host-time self-profile: where does *wall-clock* time go
+    while the simulator runs, and how fast is it simulating?
+
+    Mirrors `python -m repro hostscope fig2` on a small in-process
+    workload (docs/hostscope.md has the region taxonomy).
+    """
+    print("=== hostscope: host wall-time per simulator subsystem ===")
+    config = spp1000(2)
+    hs = HostScope(config)
+    with use_hostscope(hs), hs.profile():
+        machine = Machine(config)
+        runtime = Runtime(machine)
+        barrier = Barrier(runtime, n_threads=8)
+
+        def child(env, tid):
+            for _ in range(3):
+                yield env.compute(150 * (tid + 1))
+                yield from barrier.wait(env)
+            return tid
+
+        def main(env):
+            return (yield from env.fork_join(8, child, Placement.UNIFORM))
+
+        runtime.run(main)
+
+    print(hs.render(title="hostscope: 8-thread barrier rounds", top=5))
+    doc = hs.to_dict()
+    print(f"coverage: {doc['coverage']:.1%} of profiled wall time "
+          f"attributed; throughput "
+          f"{doc['throughput']['sim_mcycles_per_s']:.2f} Mcycles/s, "
+          f"{doc['throughput']['events_per_s']:.0f} events/s\n")
+
+
 if __name__ == "__main__":
     hpm_demo()
     cxpa_demo()
     validation_demo()
     span_demo()
     critscope_demo()
+    hostscope_demo()

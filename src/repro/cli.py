@@ -19,6 +19,10 @@ Examples::
     python -m repro critscope fig3            # critical path / wait states
     python -m repro critscope fig2 --what-if forkjoin=2
     python -m repro fig3 --critscope --metrics m.json  # fold into manifest
+    python -m repro hostscope fig2            # host-time self-profile
+    python -m repro hostscope fig2 --json     # ... as JSON
+    python -m repro fig3 --hostscope --metrics m.json  # fold into manifest
+    python -m repro fig3 --jobs 4 --progress  # live JSONL sweep telemetry
     python -m repro bench --compare benchmarks/BENCH_baseline.json
 """
 
@@ -45,9 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(serial vs parallel vs cached wall-clock benchmark), "
              "'timeline' (ASCII Gantt view of a trace), 'memscope "
              "<experiment>' (memory-system profile: miss classes, hop "
-             "counts, ring occupancy, hot pages), or 'critscope "
+             "counts, ring occupancy, hot pages), 'critscope "
              "<experiment>' (wait-state and critical-path analysis with "
-             "what-if speedup projections)")
+             "what-if speedup projections), or 'hostscope <experiment>' "
+             "(host-time self-profile: wall-clock attribution per "
+             "simulator subsystem plus cycles/s and events/s throughput)")
     parser.add_argument(
         "--hypernodes", type=int, default=2,
         help="hypernodes in the simulated machine (default: 2, as measured "
@@ -132,6 +138,18 @@ def build_parser() -> argparse.ArgumentParser:
              "what-if projections, and fold a 'critscope' block into "
              "--metrics manifests")
     parser.add_argument(
+        "--hostscope", action="store_true",
+        help="attach the host-time self-profiler to the run: print the "
+             "per-subsystem wall-clock attribution and throughput "
+             "report, and fold a 'hostscope' block into --metrics "
+             "manifests")
+    parser.add_argument(
+        "--progress", nargs="?", const="-", default=None, metavar="PATH",
+        help="stream live JSONL sweep telemetry (unit completions with "
+             "host timings, ETA, cache hit-rate, worker occupancy) to "
+             "PATH, or to stderr when PATH is omitted; fabric "
+             "experiments only")
+    parser.add_argument(
         "--what-if", action="append", default=None, metavar="CAT=FACTOR",
         help="with 'critscope': project run time with category CAT sped "
              "up FACTOR-fold (e.g. barrier_release=2); repeatable")
@@ -169,6 +187,8 @@ def _unknown_experiment(exp_id: str) -> int:
           file=sys.stderr)
     print("  critscope  wait-state / critical-path analysis of an "
           "experiment", file=sys.stderr)
+    print("  hostscope  host-time self-profile of an experiment",
+          file=sys.stderr)
     return 2
 
 
@@ -386,6 +406,52 @@ def _critscope(args, config) -> int:
     return 0
 
 
+def _hostscope(args, config) -> int:
+    """``python -m repro hostscope`` — the host-time self-profiler view."""
+    import json as _json
+
+    from .obs.export import load_trace_checked
+    from .obs.hostscope import (
+        HostScope,
+        hostscope_from_trace,
+        render_trace_summary,
+        use_hostscope,
+    )
+
+    if args.trace:
+        events = load_trace_checked(args.trace)
+        if events is None:
+            return 2
+        doc = hostscope_from_trace(events)
+        if args.json:
+            print(_json.dumps(doc, indent=2))
+        else:
+            print(render_trace_summary(doc, title=args.trace))
+        return 0
+
+    if not args.experiment:
+        print("hostscope needs an experiment id (e.g. 'python -m repro "
+              "hostscope fig2') or --trace PATH", file=sys.stderr)
+        return 2
+    from .experiments import resolve_experiment_id
+
+    try:
+        exp_id = resolve_experiment_id(args.experiment)
+    except KeyError:
+        return _unknown_experiment(args.experiment)
+
+    hs = HostScope(config)
+    with use_hostscope(hs), hs.profile():
+        _run(exp_id, config=config, quick=args.quick)
+    if args.json:
+        doc = hs.to_dict(top=args.top)
+        doc["experiment"] = exp_id
+        print(_json.dumps(doc, indent=2))
+    else:
+        print(hs.render(title=f"hostscope: {exp_id}", top=args.top))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # ``repro run <experiment>`` reads naturally in scripts/CI; the
@@ -402,6 +468,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     critscope_cmd = False
     if argv and argv[0] == "critscope":
         critscope_cmd = True
+        argv = argv[1:]
+    hostscope_cmd = False
+    if argv and argv[0] == "hostscope":
+        hostscope_cmd = True
         argv = argv[1:]
     args = build_parser().parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
@@ -421,10 +491,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _memscope(args, config)
     if critscope_cmd:
         return _critscope(args, config)
+    if hostscope_cmd:
+        return _hostscope(args, config)
     if args.experiment is None:
         print("an experiment id (or 'list', 'all', 'bench', 'timeline', "
-              "'memscope', 'critscope') is required; try 'python -m repro "
-              "list'", file=sys.stderr)
+              "'memscope', 'critscope', 'hostscope') is required; try "
+              "'python -m repro list'", file=sys.stderr)
         return 2
     if args.experiment == "list":
         from .exec import unit_count
@@ -475,7 +547,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     multi = len(targets) > 1
     observing = bool(args.trace or args.metrics or args.profile
-                     or args.memscope or args.critscope)
+                     or args.memscope or args.critscope or args.hostscope)
     what_if = _parse_what_if(args.what_if)
     if what_if is None:
         return 2
@@ -495,6 +567,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     jobs = args.jobs or 1
     cache = _build_cache(args)
+    progress = None
+    if args.progress:
+        from .exec import ProgressStream
+
+        progress = ProgressStream(args.progress)
     for exp_id in targets:
         fabric = has_units(exp_id)
         report = None
@@ -525,6 +602,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             faults_ctx = nullcontext()
 
+        if progress is not None and not fabric:
+            print(f"note: experiment {exp_id!r} has no work-unit planner; "
+                  "--progress emits nothing for in-process runs",
+                  file=sys.stderr)
+
         def run_target():
             if fabric:
                 from .exec import execute
@@ -533,7 +615,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     exp_id, config, jobs=jobs, quick=args.quick,
                     cache=cache, checkpoint=checkpoint,
                     fault_plan=fault_plan, seed=args.seed,
-                    observed=observing)
+                    observed=observing, progress=progress)
                 return result, rep
             return _run(exp_id, **kwargs), None
 
@@ -563,7 +645,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 from contextlib import nullcontext
 
                 cs_ctx = nullcontext()
-            with use_tracer(tracer), ms_ctx, cs_ctx, faults_ctx:
+            hs = None
+            if args.hostscope:
+                from .obs.hostscope import HostScope, use_hostscope
+
+                hs = HostScope(config)
+                hs_ctx = use_hostscope(hs)
+                hs_prof = hs.profile()
+            else:
+                from contextlib import nullcontext
+
+                hs_ctx = nullcontext()
+                hs_prof = nullcontext()
+            with use_tracer(tracer), ms_ctx, cs_ctx, hs_ctx, hs_prof, \
+                    faults_ctx:
                 result, report = run_target()
             print(result.render())
             if args.profile:
@@ -583,6 +678,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(f"[critscope {exp_id}] no cycle-level machine "
                           "ran (analytic model-level experiment); "
                           "nothing to attribute")
+            if hs is not None:
+                print()
+                print(hs.render(title=f"hostscope: {exp_id}",
+                                top=args.top))
             if args.trace:
                 path = _suffixed(args.trace, exp_id, multi)
                 write_chrome_trace(tracer, path, config)
@@ -597,7 +696,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     result.manifest(
                         config=config, tracer=tracer,
                         execution=report.to_dict() if report else None,
-                        memscope=ms, critscope=cs_block),
+                        memscope=ms, critscope=cs_block,
+                        hostscope=(hs.to_dict(top=args.top)
+                                   if hs is not None else None)),
                     path)
                 print(f"metrics manifest written to {path}")
         else:
@@ -610,6 +711,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   else f"[exec {exp_id}] ran in-process (no work-unit "
                        "planner); no cache involved")
         print()
+    if progress is not None:
+        progress.close()
     return 0
 
 
@@ -625,17 +728,22 @@ def _build_cache(args):
 
 def _bench(args, config) -> int:
     """``python -m repro bench``: the serial/parallel/cached trajectory."""
+    from .exec import ProgressStream
     from .exec.bench import render_bench, run_bench, write_bench
 
     jobs = args.jobs if args.jobs is not None else 2
     only = (args.bench_experiments.split(",")
             if args.bench_experiments else None)
+    progress = ProgressStream(args.progress) if args.progress else None
     try:
         doc = run_bench(config, jobs=jobs, quick=args.quick,
-                        experiment_ids=only)
+                        experiment_ids=only, progress=progress)
     except ValueError as exc:
         print(f"bench: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if progress is not None:
+            progress.close()
     print(render_bench(doc))
     write_bench(doc, args.bench_out)
     print(f"\nbenchmark written to {args.bench_out}")

@@ -32,6 +32,7 @@ from typing import Dict, Optional
 from .cache import CACHE_SCHEMA, ResultCache, default_cache_root
 from .fingerprint import clear_fingerprint_cache, code_fingerprint, git_sha
 from .pool import PoolStats, WorkerPool
+from .progress import ProgressStream
 from .units import (
     PointStore,
     WorkUnit,
@@ -46,7 +47,7 @@ from .units import (
 __all__ = [
     "WorkUnit", "register_units", "has_units", "plan_units", "unit_count",
     "run_unit", "unit_experiments", "PointStore",
-    "WorkerPool", "PoolStats",
+    "WorkerPool", "PoolStats", "ProgressStream",
     "ResultCache", "default_cache_root", "CACHE_SCHEMA",
     "code_fingerprint", "git_sha", "clear_fingerprint_cache",
     "ExecutionReport", "execute",
@@ -69,6 +70,11 @@ class ExecutionReport:
         self.fallback_points = 0     #: run() points outside the plan
         self.wall_seconds = 0.0
         self.cache_root: Optional[str] = None
+        #: host-time split of the fabric's own phases (seconds):
+        #: plan / cache_lookup / cache_store / spawn / pool / assemble
+        self.host_timing: Dict[str, float] = {}
+        #: per-unit host timings from :class:`~repro.exec.pool.PoolStats`
+        self.unit_timings: list = []
 
     @property
     def cache_hit_rate(self) -> float:
@@ -90,6 +96,8 @@ class ExecutionReport:
             "fallback_points": self.fallback_points,
             "wall_seconds": self.wall_seconds,
             "cache_root": self.cache_root,
+            "host_timing": self.host_timing,
+            "unit_timings": self.unit_timings,
         }
 
     def render(self) -> str:
@@ -108,13 +116,19 @@ class ExecutionReport:
         if self.retried_in_process:
             parts.append(f"{self.retried_in_process} retried in-process")
         parts.append(f"{self.wall_seconds:.2f}s wall")
+        t = self.host_timing
+        if t.get("pool_s"):
+            parts.append(f"pool {t['pool_s']:.2f}s"
+                         + (f" (spawn {t['spawn_s']:.2f}s)"
+                            if t.get("spawn_s") else ""))
         return f"[exec {self.experiment_id}] " + ", ".join(parts)
 
 
 def execute(experiment_id: str, config, *, jobs: int = 1,
             quick: bool = False, cache: Optional[ResultCache] = None,
             checkpoint=None, fault_plan=None, seed: Optional[int] = None,
-            observed: bool = False):
+            observed: bool = False,
+            progress: Optional[ProgressStream] = None):
     """Run one experiment through the fabric.
 
     Returns ``(ExperimentResult, ExecutionReport)``.  ``observed=True``
@@ -122,20 +136,26 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
     every unit to execute in this process under the ambient tracer and
     skips cache *reads* — a trace of a run that simulated nothing would
     be empty — while still warming the cache with what it computes.
+    ``progress`` streams JSONL telemetry as units complete.
     """
     from ..experiments import get_experiment
 
     t0 = time.perf_counter()
     report = ExecutionReport(experiment_id, jobs)
+    timing: Dict[str, float] = {}
+    report.host_timing = timing
     if cache is not None:
         report.cache_root = cache.root
 
+    t_phase = time.perf_counter()
     units = plan_units(experiment_id, config, quick=quick)
+    timing["plan_s"] = round(time.perf_counter() - t_phase, 6)
     report.units_planned = len(units)
 
     if checkpoint is not None:
         checkpoint.bind(experiment_id)
 
+    t_phase = time.perf_counter()
     values: Dict[str, object] = {}
     remaining = []
     digests: Dict[str, str] = {}
@@ -161,25 +181,70 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
         # fold cache hits into the checkpoint so a later --resume
         # without the cache still skips them
         checkpoint.put_many(from_cache)
+    timing["cache_lookup_s"] = round(time.perf_counter() - t_phase, 6)
 
+    effective_jobs = 1 if observed else jobs
+    if progress is not None:
+        progress.emit({
+            "event": "start", "experiment": experiment_id,
+            "units": len(units), "to_compute": len(remaining),
+            "from_checkpoint": report.from_checkpoint,
+            "cache_hits": report.cache_hits,
+            "jobs": min(effective_jobs, max(len(remaining), 1)),
+        })
+
+    timing["cache_store_s"] = 0.0
     if remaining:
-        pool = WorkerPool(1 if observed else jobs)
+        pool = WorkerPool(effective_jobs)
         stats = PoolStats(pool.jobs)
 
         def record(unit, value):
             if cache is not None:
+                t_put = time.perf_counter()
                 cache.put(digests.get(unit.key) or cache.digest(
                     unit, config, fault_plan, seed), value, unit)
+                timing["cache_store_s"] += time.perf_counter() - t_put
                 report.cache_stores += 1
             if checkpoint is not None:
                 checkpoint.put(unit.key, value)
 
-        computed = pool.map_units(remaining, config, fault_plan=fault_plan,
-                                  seed=seed, stats=stats, on_unit=record)
+        done = 0
+        total = len(remaining)
+        pool_t0 = time.monotonic()
+
+        def heartbeat(unit, unit_timing):
+            nonlocal done
+            done += 1
+            elapsed = time.monotonic() - pool_t0
+            rate = done / elapsed if elapsed > 0 else 0.0
+            record_out = {"event": "unit", "key": unit.key}
+            record_out.update(unit_timing)
+            record_out.update({
+                "done": done, "total": total,
+                "eta_s": round((total - done) / rate, 3) if rate else None,
+                "cache_hit_rate": round(report.cache_hit_rate, 4),
+                "jobs": pool.jobs,
+                "workers_busy": min(pool.jobs, total - done)
+                if unit_timing.get("where") == "worker" else
+                (1 if done < total else 0),
+            })
+            progress.emit(record_out)
+
+        t_phase = time.perf_counter()
+        computed = pool.map_units(
+            remaining, config, fault_plan=fault_plan, seed=seed,
+            stats=stats, on_unit=record,
+            on_progress=heartbeat if progress is not None else None)
+        timing["pool_s"] = round(time.perf_counter() - t_phase
+                                 - timing["cache_store_s"], 6)
+        timing["spawn_s"] = round(stats.spawn_s, 6)
         values.update(computed)
         report.computed = stats.executed
         report.retried_in_process = stats.retried_in_process
+        report.unit_timings = stats.unit_timings
+    timing["cache_store_s"] = round(timing["cache_store_s"], 6)
 
+    t_phase = time.perf_counter()
     store = PointStore(values, checkpoint=checkpoint)
     fn = get_experiment(experiment_id)
     accepted = inspect.signature(fn).parameters
@@ -189,6 +254,14 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
     if quick and "quick" in accepted:
         kwargs["quick"] = True
     result = fn(**kwargs)
+    timing["assemble_s"] = round(time.perf_counter() - t_phase, 6)
     report.fallback_points = store.computed
     report.wall_seconds = time.perf_counter() - t0
+    if progress is not None:
+        progress.emit({
+            "event": "done", "experiment": experiment_id,
+            "computed": report.computed, "cache_hits": report.cache_hits,
+            "cache_hit_rate": round(report.cache_hit_rate, 4),
+            "wall_s": round(report.wall_seconds, 3),
+        })
     return result, report

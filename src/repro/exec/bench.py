@@ -7,27 +7,43 @@ push and uploads the file as an artifact, giving the repository a
 measured performance trajectory over time (the machine-characterisation
 discipline the paper applies to the SPP-1000, turned on ourselves).
 
-Schema (``BENCH_SCHEMA`` = 1)::
+Schema (``BENCH_SCHEMA`` = 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "generator": "repro.exec.bench",
       "jobs": 2, "quick": true,
-      "host": {"cpu_count": 4, "python": "3.12.1", "platform": "linux"},
+      "host": {"cpu_count": 4, "physical_cpus": 2, "cpu_model": "…",
+               "python": "3.12.1", "platform": "linux",
+               "loadavg_1m": 0.42, "calibration_miters_s": 11.3},
       "code_fingerprint": "3f62…",
       "experiments": {
         "fig2": {"units": 18,
                  "serial_s": 0.51, "parallel_s": 0.31, "cached_s": 0.02,
-                 "speedup": 1.65, "cached_speedup": 25.5,
+                 "speedup": 1.65, "cached_speedup": 10.2,
+                 "cached_speedup_resolution_limited": true,
+                 "units_per_s": 35.3, "sim_mcycles": 0.59,
+                 "sim_mcycles_per_s": 1.15, "events": 26742,
+                 "events_per_s": 52435,
+                 "parallel_breakdown": {"spawn_s": 0.02, ...},
                  "cache_hit_rate": 1.0, "identical": true},
         ...
       },
       "totals": {"serial_s": ..., "parallel_s": ..., "cached_s": ...,
-                 "speedup": ..., "cached_speedup": ...}
+                 "speedup": ..., "cached_speedup": ...,
+                 "cached_speedup_resolution_limited": false}
     }
 
 ``identical`` asserts the bit-identity contract: the parallel and
-warm-cache results canonically equal the serial ones.
+warm-cache results canonically equal the serial ones.  Throughput
+columns (``units_per_s``, ``sim_mcycles_per_s``, ``events_per_s``)
+come from a light :class:`~repro.obs.hostscope.HostScope` (counters
+only, no per-region timing) installed around the *serial* pass, so the
+simulated-cycle and event counts are measured, not estimated.
+
+Schema history: v2 added the throughput columns, the enriched host
+block with the calibration score, ``parallel_breakdown``, and the
+timer-resolution floor on ``cached_speedup``.
 """
 
 from __future__ import annotations
@@ -42,13 +58,20 @@ from typing import Dict, List, Optional
 
 from ..core.canon import canonical_json
 from ..core.tables import Table
+from ..obs.hostscope import HostScope, use_hostscope
 from . import ResultCache, execute, unit_experiments
 from .fingerprint import code_fingerprint, git_sha
 
-__all__ = ["BENCH_SCHEMA", "run_bench", "write_bench", "render_bench",
-           "compare_bench", "render_compare", "markdown_compare"]
+__all__ = ["BENCH_SCHEMA", "host_info", "run_bench", "write_bench",
+           "render_bench", "compare_bench", "render_compare",
+           "markdown_compare"]
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
+
+#: warm-cache wall times below this floor are timer/startup noise —
+#: dividing by them manufactures arbitrarily large "speedups", so
+#: cached_speedup clamps its denominator here and flags the row.
+_RESOLUTION_FLOOR_S = 0.05
 
 
 def _timed(fn):
@@ -57,8 +80,66 @@ def _timed(fn):
     return result, time.perf_counter() - t0
 
 
+def _calibrate(repeats: int = 3, n: int = 200_000) -> float:
+    """Host-speed score: millions of iterations/s of a fixed pure-Python
+    loop, best of ``repeats`` (higher = faster host).  Used by
+    ``bench --compare`` to normalize cross-machine timing ratios."""
+    best = float("inf")
+    for _ in range(repeats):
+        acc = 0.0
+        t0 = time.perf_counter()
+        for i in range(n):
+            acc += 1.000001 * i - (i >> 1)
+        best = min(best, time.perf_counter() - t0)
+    return round(n / best / 1e6, 3) if best > 0 else 0.0
+
+
+def _cpu_details() -> Dict[str, object]:
+    """CPU model and physical-core count from /proc/cpuinfo (Linux);
+    empty values elsewhere."""
+    model = None
+    physical = set()
+    phys_id = core_id = None
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                key, _, value = line.partition(":")
+                key, value = key.strip(), value.strip()
+                if key == "model name" and model is None:
+                    model = value
+                elif key == "physical id":
+                    phys_id = value
+                elif key == "core id":
+                    core_id = value
+                elif not key:  # blank line = end of one processor block
+                    if phys_id is not None and core_id is not None:
+                        physical.add((phys_id, core_id))
+                    phys_id = core_id = None
+        if phys_id is not None and core_id is not None:
+            physical.add((phys_id, core_id))
+    except OSError:
+        pass
+    return {"cpu_model": model, "physical_cpus": len(physical) or None}
+
+
+def host_info(*, calibrate: bool = True) -> Dict[str, object]:
+    """The enriched ``host`` block: who ran this bench, and how fast a
+    machine it was."""
+    info: Dict[str, object] = {"cpu_count": os.cpu_count()}
+    info.update(_cpu_details())
+    info["python"] = sys.version.split()[0]
+    info["platform"] = sys.platform
+    try:
+        info["loadavg_1m"] = round(os.getloadavg()[0], 2)
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX
+        info["loadavg_1m"] = None
+    info["calibration_miters_s"] = _calibrate() if calibrate else None
+    return info
+
+
 def run_bench(config, *, jobs: int = 2, quick: bool = False,
-              experiment_ids: Optional[List[str]] = None) -> Dict:
+              experiment_ids: Optional[List[str]] = None,
+              progress=None) -> Dict:
     """Measure serial/parallel/cached wall time per experiment.
 
     Requested ``experiment_ids`` that are unknown or have no work-unit
@@ -66,6 +147,12 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
     in a ``--bench-experiments`` list or an old baseline must not abort
     the whole benchmark); :class:`ValueError` is raised only when
     nothing benchmarkable remains.
+
+    ``progress`` (a :class:`~repro.exec.progress.ProgressStream`)
+    streams live telemetry: a ``bench_pass`` marker before each
+    serial/parallel/cached pass, then that pass's ``start``/``unit``/
+    ``done`` records with per-unit host timings — the raw data behind
+    the serial-vs-parallel gap.
     """
     from .. import experiments  # noqa: F401 -- populate the unit registry
 
@@ -91,24 +178,59 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
     for exp_id in targets:
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
             cache = ResultCache(tmp)
-            (serial, _), serial_s = _timed(
-                lambda: execute(exp_id, config, jobs=1, quick=quick))
+            # Serial pass under a counters-only hostscope: measured
+            # simulated-cycle/event totals for the throughput columns,
+            # without per-region timer reads perturbing the baseline.
+            scope = HostScope(detail=False)
+
+            def _mark(pass_name, pass_jobs):
+                if progress is not None:
+                    progress.emit({"event": "bench_pass",
+                                   "experiment": exp_id,
+                                   "pass": pass_name, "jobs": pass_jobs})
+
+            def _serial():
+                with use_hostscope(scope):
+                    return execute(exp_id, config, jobs=1, quick=quick,
+                                   progress=progress)
+
+            _mark("serial", 1)
+            (serial, _), serial_s = _timed(_serial)
+            _mark("parallel", jobs)
             (parallel, prep), parallel_s = _timed(
                 lambda: execute(exp_id, config, jobs=jobs, quick=quick,
-                                cache=cache))
+                                cache=cache, progress=progress))
+            _mark("cached", jobs)
             (cached, crep), cached_s = _timed(
                 lambda: execute(exp_id, config, jobs=jobs, quick=quick,
-                                cache=cache))
+                                cache=cache, progress=progress))
             identical = (
                 canonical_json(serial.data) == canonical_json(parallel.data)
                 == canonical_json(cached.data))
+            sim_mcycles = scope.sim_cycles / 1e6
+            cached_floor = max(cached_s, _RESOLUTION_FLOOR_S)
+            breakdown = dict(prep.host_timing)
+            if prep.unit_timings:
+                for part in ("run_s", "queue_s", "return_s"):
+                    breakdown["unit_" + part] = round(
+                        sum(t[part] for t in prep.unit_timings), 4)
             experiments[exp_id] = {
                 "units": prep.units_planned,
                 "serial_s": round(serial_s, 4),
                 "parallel_s": round(parallel_s, 4),
                 "cached_s": round(cached_s, 4),
                 "speedup": round(serial_s / parallel_s, 3),
-                "cached_speedup": round(serial_s / cached_s, 3),
+                "cached_speedup": round(serial_s / cached_floor, 3),
+                "cached_speedup_resolution_limited":
+                    cached_s < _RESOLUTION_FLOOR_S,
+                "units_per_s": round(prep.units_planned
+                                     / max(serial_s, 1e-9), 3),
+                "sim_mcycles": round(sim_mcycles, 4),
+                "sim_mcycles_per_s": round(sim_mcycles
+                                           / max(serial_s, 1e-9), 4),
+                "events": scope.events,
+                "events_per_s": round(scope.events / max(serial_s, 1e-9)),
+                "parallel_breakdown": breakdown,
                 "cache_hit_rate": round(crep.cache_hit_rate, 4),
                 "units_resimulated_warm": crep.computed,
                 "identical": identical,
@@ -116,14 +238,13 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
             totals["serial_s"] += serial_s
             totals["parallel_s"] += parallel_s
             totals["cached_s"] += cached_s
+    total_cached_floor = max(totals["cached_s"], _RESOLUTION_FLOOR_S)
     doc = {
         "schema_version": BENCH_SCHEMA,
         "generator": "repro.exec.bench",
         "jobs": jobs,
         "quick": quick,
-        "host": {"cpu_count": os.cpu_count(),
-                 "python": sys.version.split()[0],
-                 "platform": sys.platform},
+        "host": host_info(),
         "code_fingerprint": code_fingerprint()[:16],
         "git_sha": git_sha(),
         "created_utc": datetime.now(timezone.utc).isoformat(
@@ -136,7 +257,9 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
             "speedup": round(totals["serial_s"]
                              / max(totals["parallel_s"], 1e-9), 3),
             "cached_speedup": round(totals["serial_s"]
-                                    / max(totals["cached_s"], 1e-9), 3),
+                                    / total_cached_floor, 3),
+            "cached_speedup_resolution_limited":
+                totals["cached_s"] < _RESOLUTION_FLOOR_S,
         },
     }
     return doc
@@ -153,18 +276,28 @@ def render_bench(doc: Dict) -> str:
         f"Execution trajectory ({doc['jobs']} jobs, "
         f"{doc['host']['cpu_count']} CPUs)",
         ["experiment", "units", "serial s", "parallel s", "cached s",
-         "speedup", "hit rate", "identical"])
+         "speedup", "units/s", "Mcyc/s", "hit rate", "identical"])
     for exp_id, row in doc["experiments"].items():
         table.add_row(exp_id, row["units"], f"{row['serial_s']:.3f}",
                       f"{row['parallel_s']:.3f}", f"{row['cached_s']:.3f}",
                       f"{row['speedup']:.2f}x",
+                      f"{row.get('units_per_s', 0):.1f}",
+                      f"{row.get('sim_mcycles_per_s', 0):.2f}",
                       f"{row['cache_hit_rate']:.0%}",
                       "yes" if row["identical"] else "NO")
     totals = doc["totals"]
     table.add_row("TOTAL", "", f"{totals['serial_s']:.3f}",
                   f"{totals['parallel_s']:.3f}", f"{totals['cached_s']:.3f}",
-                  f"{totals['speedup']:.2f}x", "", "")
-    return table.render()
+                  f"{totals['speedup']:.2f}x", "", "", "", "")
+    parts = [table.render()]
+    limited = [e for e, row in doc["experiments"].items()
+               if row.get("cached_speedup_resolution_limited")]
+    if limited:
+        parts.append(
+            f"note: warm-cache wall under {_RESOLUTION_FLOOR_S}s for "
+            f"{', '.join(limited)}; cached speedups clamped to the "
+            "timer-resolution floor")
+    return "\n".join(parts)
 
 
 # -- the regression observatory -------------------------------------------
@@ -186,12 +319,18 @@ def compare_bench(current: Dict, baseline: Dict, *,
     * ``improved`` — normalized ratio below ``1 - threshold``;
     * ``ok`` — within the noise band.
 
-    Host-speed normalization divides each ratio by the median ratio
-    across shared experiments, so running the baseline on a fast machine
-    and the current on a slow one does not flag everything; it activates
-    automatically with >= 4 shared experiments (median of fewer is too
-    easily dragged by one genuine regression) unless ``normalize`` forces
-    it on or off.
+    Host-speed normalization divides each ratio by an expected
+    machine-speed factor, so running the baseline on a fast machine and
+    the current on a slow one does not flag everything.  Preferred
+    source (mode ``"calibration"``): the fixed pure-Python
+    microbenchmark score both bench documents carry in their ``host``
+    block — a *measured* speed ratio, independent of the experiments
+    under test, so even a regression in every single experiment cannot
+    hide inside the normalizer.  When either document predates the
+    calibration score (schema 1 baselines), the old heuristic applies
+    (mode ``"median"``): the median timing ratio across shared
+    experiments, activated with >= 4 shared experiments.  ``normalize``
+    forces normalization on (best available mode) or off.
     """
     base_rows = baseline.get("experiments", {})
     cur_rows = current.get("experiments", {})
@@ -201,10 +340,20 @@ def compare_bench(current: Dict, baseline: Dict, *,
         base_s = float(base_rows[exp_id].get("serial_s", 0.0))
         cur_s = float(cur_rows[exp_id].get("serial_s", 0.0))
         ratios[exp_id] = cur_s / base_s if base_s > 0 else 1.0
+
+    base_score = (baseline.get("host") or {}).get("calibration_miters_s")
+    cur_score = (current.get("host") or {}).get("calibration_miters_s")
+    have_scores = bool(base_score) and bool(cur_score)
     if normalize is None:
-        normalize = len(shared) >= 4
-    norm = 1.0
-    if normalize and ratios:
+        normalize = have_scores or len(shared) >= 4
+    norm, mode = 1.0, "none"
+    if normalize and have_scores:
+        # score = iterations/s (higher = faster host); a slower current
+        # host inflates every cur_s by ~base_score/cur_score.
+        mode = "calibration"
+        norm = base_score / cur_score
+    elif normalize and ratios:
+        mode = "median"
         ordered = sorted(ratios.values())
         mid = len(ordered) // 2
         norm = (ordered[mid] if len(ordered) % 2
@@ -233,12 +382,17 @@ def compare_bench(current: Dict, baseline: Dict, *,
             "delta_s": round(delta, 4),
             "status": status,
         }
+    resolution_limited = sorted(
+        e for e, row in cur_rows.items()
+        if row.get("cached_speedup_resolution_limited"))
     return {
         "schema_version": BENCH_SCHEMA,
         "threshold": threshold,
         "min_abs_s": min_abs_s,
-        "normalized": bool(normalize),
+        "normalized": mode != "none",
+        "normalization_mode": mode,
         "host_speed_factor": round(norm, 4),
+        "cached_resolution_limited": resolution_limited,
         "baseline_fingerprint": baseline.get("code_fingerprint"),
         "current_fingerprint": current.get("code_fingerprint"),
         "baseline_git_sha": baseline.get("git_sha"),
@@ -255,7 +409,9 @@ def render_compare(report: Dict) -> str:
     """Human table of a :func:`compare_bench` report."""
     norm = ""
     if report["normalized"]:
-        norm = f", host factor {report['host_speed_factor']:.2f}"
+        mode = report.get("normalization_mode", "median")
+        norm = (f", host factor {report['host_speed_factor']:.2f} "
+                f"[{mode}]")
     table = Table(
         f"Serial-path regression check "
         f"(threshold {report['threshold']:.0%}{norm})",
@@ -290,8 +446,9 @@ def markdown_compare(report: Dict) -> str:
     lines.append(f"- threshold: {report['threshold']:.0%} "
                  f"(min abs delta {report['min_abs_s']}s)")
     if report["normalized"]:
-        lines.append(f"- host-speed normalization: on "
-                     f"(median ratio {report['host_speed_factor']:.3f})")
+        mode = report.get("normalization_mode", "median")
+        lines.append(f"- host-speed normalization: {mode} "
+                     f"(factor {report['host_speed_factor']:.3f})")
     for side in ("baseline", "current"):
         sha = report.get(f"{side}_git_sha")
         fp = report.get(f"{side}_fingerprint")
@@ -315,5 +472,12 @@ def markdown_compare(report: Dict) -> str:
     if report["missing"]:
         lines += ["", "Missing vs baseline: "
                   + ", ".join(f"`{e}`" for e in report["missing"])]
+    if report.get("cached_resolution_limited"):
+        lines += ["", "Warm-cache wall time was below the "
+                  f"{_RESOLUTION_FLOOR_S}s timer-resolution floor for "
+                  + ", ".join(f"`{e}`"
+                              for e in report["cached_resolution_limited"])
+                  + "; their cached speedups are clamped lower bounds, "
+                    "not measurements."]
     lines.append("")
     return "\n".join(lines)

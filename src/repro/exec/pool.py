@@ -16,10 +16,20 @@ degrades gracefully — the unit is retried *in this process*, in plan
 order, after the pool is drained.  A unit that fails identically twice
 raises its real exception to the caller instead of a pool internals
 traceback.
+
+Host-time accounting: every computed unit gets a timing record in
+``PoolStats.unit_timings`` splitting its wall time into ``run_s`` (the
+simulation itself), ``queue_s`` (submit-to-start wait in the worker
+queue) and ``return_s`` (result serialisation + round-trip back to the
+caller).  Workers stamp ``time.monotonic()`` — comparable across
+processes on Linux (CLOCK_MONOTONIC is system-wide), unlike
+``perf_counter`` which may not be.  Differences are clamped at zero in
+case a platform breaks that assumption.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
@@ -36,11 +46,17 @@ class PoolStats:
         self.executed = 0            #: units computed (anywhere)
         self.in_workers = 0          #: units computed in worker processes
         self.retried_in_process = 0  #: worker failures retried serially
+        #: seconds spent starting worker processes and submitting units
+        self.spawn_s = 0.0
+        #: one record per computed unit: ``{key, where, run_s, queue_s,
+        #: return_s, overhead_s}`` (see module docstring)
+        self.unit_timings: List[Dict] = []
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, object]:
         return {"jobs": self.jobs, "executed": self.executed,
                 "in_workers": self.in_workers,
-                "retried_in_process": self.retried_in_process}
+                "retried_in_process": self.retried_in_process,
+                "spawn_s": round(self.spawn_s, 6)}
 
 
 # -- worker-process side ----------------------------------------------------
@@ -72,8 +88,10 @@ def _worker_run(experiment_id: str, key: str, params: Dict, config):
 
     plan = _WORKER.get("fault_plan")
     ctx = use_faults(plan) if plan is not None else nullcontext()
+    t0 = time.monotonic()
     with ctx:
-        return key, run_unit(experiment_id, params, config)
+        value = run_unit(experiment_id, params, config)
+    return key, value, t0, time.monotonic()
 
 
 # -- caller side ------------------------------------------------------------
@@ -90,38 +108,52 @@ class WorkerPool:
                   fault_plan=None, seed: Optional[int] = None,
                   stats: Optional[PoolStats] = None,
                   on_unit: Optional[Callable[[WorkUnit, object], None]] = None,
+                  on_progress: Optional[Callable[[WorkUnit, Dict],
+                                                 None]] = None,
                   ) -> Dict[str, object]:
         """Compute every unit; returns ``{unit.key: value}`` in plan order.
 
         ``on_unit(unit, value)`` fires once per completed unit, in plan
-        order (the cache/checkpoint write hook).
+        order (the cache/checkpoint write hook).  ``on_progress(unit,
+        timing)`` fires as each unit *completes* — out of plan order
+        under ``--jobs N`` — with that unit's host-timing record; it is
+        the live-telemetry hook and must not mutate results.
         """
         stats = stats if stats is not None else PoolStats(self.jobs)
         if self.jobs == 1 or len(units) <= 1:
-            values = self._run_serial(units, config, fault_plan, stats)
+            values = self._run_serial(units, config, fault_plan, stats,
+                                      on_progress)
         else:
             values = self._run_parallel(units, config, fault_plan, seed,
-                                        stats)
+                                        stats, on_progress)
         ordered = {u.key: values[u.key] for u in units}
         if on_unit is not None:
             for unit in units:
                 on_unit(unit, ordered[unit.key])
         return ordered
 
-    def _run_serial(self, units, config, fault_plan,
-                    stats) -> Dict[str, object]:
+    def _run_serial(self, units, config, fault_plan, stats,
+                    on_progress=None) -> Dict[str, object]:
         ctx = (nullcontext() if fault_plan is None
                else _faults_ctx(fault_plan))
         values: Dict[str, object] = {}
         with ctx:
             for unit in units:
+                t0 = time.monotonic()
                 values[unit.key] = run_unit(unit.experiment_id, unit.params,
                                             config)
+                timing = {"key": unit.key, "where": "local",
+                          "run_s": round(time.monotonic() - t0, 6),
+                          "queue_s": 0.0, "return_s": 0.0,
+                          "overhead_s": 0.0}
                 stats.executed += 1
+                stats.unit_timings.append(timing)
+                if on_progress is not None:
+                    on_progress(unit, timing)
         return values
 
-    def _run_parallel(self, units, config, fault_plan, seed,
-                      stats) -> Dict[str, object]:
+    def _run_parallel(self, units, config, fault_plan, seed, stats,
+                      on_progress=None) -> Dict[str, object]:
         import concurrent.futures as cf
         import multiprocessing as mp
 
@@ -131,25 +163,41 @@ class WorkerPool:
         values: Dict[str, object] = {}
         failed: List[WorkUnit] = []
         try:
+            t_spawn = time.monotonic()
             with cf.ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(units)),
                     mp_context=context,
                     initializer=_worker_init,
                     initargs=(fault_plan, seed)) as pool:
-                futures = {
-                    pool.submit(_worker_run, u.experiment_id, u.key,
-                                u.params, config): u
-                    for u in units}
+                futures = {}
+                for u in units:
+                    future = pool.submit(_worker_run, u.experiment_id,
+                                         u.key, u.params, config)
+                    futures[future] = (u, time.monotonic())
+                stats.spawn_s = time.monotonic() - t_spawn
                 for future in cf.as_completed(futures):
-                    unit = futures[future]
+                    unit, submitted = futures[future]
+                    done_t = time.monotonic()
                     try:
-                        key, value = future.result()
+                        key, value, t0, t1 = future.result()
                     except Exception:
                         failed.append(unit)
                         continue
+                    run_s = max(t1 - t0, 0.0)
+                    roundtrip = max(done_t - submitted, 0.0)
+                    timing = {
+                        "key": key, "where": "worker",
+                        "run_s": round(run_s, 6),
+                        "queue_s": round(max(t0 - submitted, 0.0), 6),
+                        "return_s": round(max(done_t - t1, 0.0), 6),
+                        "overhead_s": round(max(roundtrip - run_s, 0.0), 6),
+                    }
                     values[key] = value
                     stats.executed += 1
                     stats.in_workers += 1
+                    stats.unit_timings.append(timing)
+                    if on_progress is not None:
+                        on_progress(unit, timing)
         except Exception:
             # The pool itself failed to start or shut down (e.g. a
             # broken fork); compute whatever is missing in-process.
@@ -158,7 +206,7 @@ class WorkerPool:
         if missing:
             stats.retried_in_process += len(missing)
             values.update(self._run_serial(missing, config, fault_plan,
-                                           stats))
+                                           stats, on_progress))
         return values
 
 

@@ -57,22 +57,23 @@ class ExperimentResult:
 
     def manifest(self, *, config=None, tracer=None, phases=None,
                  execution=None, memscope=None, critscope=None,
-                 extra=None) -> Dict:
+                 hostscope=None, extra=None) -> Dict:
         """The run's ``metrics.json`` manifest (see :mod:`repro.obs`).
 
         Every experiment gets this for free: headline data from
         :attr:`data`, plus — when a tracer observed the run — per-phase
         span times, counter deltas, imbalance factors, and the §4
         instrumentation-overhead accounting; ``memscope`` folds in the
-        memory-system profile and ``critscope`` the wait-state /
-        critical-path analysis when those observers watched the run.
+        memory-system profile, ``critscope`` the wait-state /
+        critical-path analysis, and ``hostscope`` the host-time /
+        throughput profile when those observers watched the run.
         """
         from ..obs.metrics import build_manifest
 
         return build_manifest(self, config=config, tracer=tracer,
                               phases=phases, execution=execution,
                               memscope=memscope, critscope=critscope,
-                              extra=extra)
+                              hostscope=hostscope, extra=extra)
 
 
 _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}

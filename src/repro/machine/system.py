@@ -125,6 +125,11 @@ class Machine:
         # ``is None`` check per emission point when it is off.
         cs = _ambient_critscope()
         self.critscope = cs.new_run(self) if cs is not None else None
+        # Host-time profiler: the simulator adopted the ambient scope at
+        # construction; teach it this machine's clock so it can convert
+        # simulated ns to cycles for the throughput report.
+        if self.sim.hostscope is not None:
+            self.sim.hostscope.adopt_config(self.config)
         # Fault injection: like the tracer, adopt the ambient plan
         # (``use_faults``) when no explicit one is given.  Without a plan
         # both attributes stay None and every operation pays exactly one
@@ -204,7 +209,7 @@ class Machine:
             # total overhead = count("timer.read") * timer_overhead_ns.
             self.tracer.emit(self.sim.now, "timer.read", cpu)
             return self.sim.now
-        return self.sim.process(_go())
+        return self.sim.process(_go(), region="memory")
 
     def _home(self, line: int, accessor_hn: int) -> HomeLocation:
         return self.space.home_of(line, accessor_hn)
@@ -314,7 +319,7 @@ class Machine:
     # ------------------------------------------------------------------
     def load(self, cpu: int, addr: int):
         """Process: coherent load; returns the word's value."""
-        return self.sim.process(self._load(cpu, addr))
+        return self.sim.process(self._load(cpu, addr), region="memory")
 
     def _load(self, cpu: int, addr: int):
         cfg = self.config
@@ -332,7 +337,7 @@ class Machine:
 
     def store(self, cpu: int, addr: int, value):
         """Process: coherent store; completes when all copies are invalid."""
-        return self.sim.process(self._store(cpu, addr, value))
+        return self.sim.process(self._store(cpu, addr, value), region="memory")
 
     def _store(self, cpu: int, addr: int, value):
         cfg = self.config
@@ -435,7 +440,7 @@ class Machine:
     # ------------------------------------------------------------------
     def fetch_add(self, cpu: int, addr: int, delta=1):
         """Process: uncached atomic fetch-and-add at the word's home bank."""
-        return self.sim.process(self._fetch_add(cpu, addr, delta))
+        return self.sim.process(self._fetch_add(cpu, addr, delta), region="memory")
 
     def _fetch_add(self, cpu: int, addr: int, delta):
         cfg = self.config
@@ -464,11 +469,13 @@ class Machine:
     # ------------------------------------------------------------------
     def read_block(self, cpu: int, addr: int, nbytes: int):
         """Process: pipelined sequential read of ``nbytes`` starting at addr."""
-        return self.sim.process(self._block(cpu, addr, nbytes, "read"))
+        return self.sim.process(self._block(cpu, addr, nbytes, "read"),
+                                region="memory")
 
     def write_block(self, cpu: int, addr: int, nbytes: int):
         """Process: pipelined sequential write of ``nbytes``."""
-        return self.sim.process(self._block(cpu, addr, nbytes, "write"))
+        return self.sim.process(self._block(cpu, addr, nbytes, "write"),
+                                region="memory")
 
     def _block(self, cpu: int, addr: int, nbytes: int, kind: str):
         if nbytes <= 0:
@@ -517,7 +524,8 @@ class Machine:
         ``info`` names what is being waited on (e.g. which barrier) for
         the watchdog's stall report.
         """
-        return self.sim.process(self._spin_until(cpu, addr, predicate, info))
+        return self.sim.process(self._spin_until(cpu, addr, predicate, info),
+                                region="memory")
 
     def _spin_until(self, cpu, addr, predicate, info=None):
         cfg = self.config

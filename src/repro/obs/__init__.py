@@ -23,7 +23,12 @@ first-class measurement subsystem for the simulated machine:
   directory/SCI transition counters, a false-sharing & ping-pong
   detector, ring/crossbar occupancy timelines, and page/hypernode
   hotspot heatmaps (``python -m repro memscope``; see
-  ``docs/memscope.md``).
+  ``docs/memscope.md``);
+* :mod:`repro.obs.hostscope` — the host-time self-profiler: attributes
+  *wall-clock* time to simulator subsystems (event heap, dispatch,
+  memory/coherence, scheduling, PVM, application code) and reports
+  simulated-cycles/s and events/s throughput (``python -m repro
+  hostscope``; see ``docs/hostscope.md``).
 
 Zero-cost contract: tracing never advances simulated time, and a fully
 disabled tracer (``Tracer(counting=False)``) costs one no-op call per
@@ -46,6 +51,12 @@ from .export import (
     load_trace_checked,
     write_chrome_trace,
     write_jsonl,
+)
+from .hostscope import (
+    HostScope,
+    active_hostscope,
+    hostscope_from_trace,
+    use_hostscope,
 )
 from .memscope import (
     MemScope,
@@ -70,4 +81,6 @@ __all__ = [
     "render_timeline", "timeline_from_tracer",
     "MemScope", "active_memscope", "use_memscope", "placement_probe",
     "memscope_from_trace",
+    "HostScope", "active_hostscope", "use_hostscope",
+    "hostscope_from_trace",
 ]

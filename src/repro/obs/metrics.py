@@ -107,7 +107,7 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
                    config: Optional[MachineConfig] = None,
                    phases: Optional[List[Dict]] = None,
                    execution: Optional[Dict] = None,
-                   memscope=None, critscope=None,
+                   memscope=None, critscope=None, hostscope=None,
                    extra: Optional[Dict] = None) -> Dict:
     """Assemble a ``metrics.json`` manifest.
 
@@ -119,8 +119,11 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
     fabric; ``critscope`` (a :class:`~repro.obs.critscope.CritScope` or
     its ``to_dict()``) folds the wait-state / critical-path analysis in;
     ``memscope`` is a :class:`~repro.obs.memscope.MemScope` (or
-    its ``to_dict()``) when the memory profiler observed the run.
-    Every manifest is stamped with :func:`provenance_stamp`.
+    its ``to_dict()``) when the memory profiler observed the run;
+    ``hostscope`` (a :class:`~repro.obs.hostscope.HostScope` or its
+    ``to_dict()``) folds in the host-time attribution and throughput
+    accounting.  Every manifest is stamped with
+    :func:`provenance_stamp`.
     """
     manifest: Dict = {"schema_version": SCHEMA_VERSION,
                       "generator": "repro.obs",
@@ -171,6 +174,10 @@ def build_manifest(result=None, *, tracer: Optional[Tracer] = None,
         block = critscope if isinstance(critscope, dict) \
             else critscope.to_dict()
         manifest["critscope"] = _jsonable(block)
+    if hostscope is not None:
+        block = hostscope if isinstance(hostscope, dict) \
+            else hostscope.to_dict()
+        manifest["hostscope"] = _jsonable(block)
     if extra:
         manifest.update(_jsonable(extra))
     return manifest

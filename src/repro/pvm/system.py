@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..machine import Machine
 from ..runtime import Placement, Runtime, ThreadEnv
+from ..runtime.runtime import _host_region
 from .buffers import BufferPool
 from .message import ANY_SOURCE, ANY_TAG, Message, matches
 
@@ -107,7 +108,8 @@ class PvmTask:
                                "nbytes": nbytes})
         yield env.compute(cfg.pvm_send_overhead_cycles,
                           cat="msg_send")
-        lease = system.buffers.acquire(self.tid, env.hypernode, nbytes)
+        with _host_region(env.sim, "pvm"):
+            lease = system.buffers.acquire(self.tid, env.hypernode, nbytes)
         if lease.fresh_pages:
             remote_dest = dest.env.hypernode != env.hypernode
             per_page = (cfg.page_touch_remote_cycles if remote_dest
@@ -140,16 +142,18 @@ class PvmTask:
         tracer = self.system.machine.tracer
         yield env.fetch_add(dest._mail_lock, 1,
                             cat="msg_send")        # mailbox insert lock
-        dest._mail_seq += 1
-        msg = Message(self.tid, dest.tid, tag, nbytes, payload,
-                      lease.addr, dest._mail_seq, send_seq)
-        dest.mailbox.append(msg)
-        if tracer.enabled:
-            # The shared-buffer hand-off: the message changes hands here.
-            tracer.instant(env.now, "pvm.post", "pvm",
-                           pid=dest.env.hypernode, tid=dest.env.cpu,
-                           args={"source": self.tid, "dest": dest.tid,
-                                 "tag": tag, "nbytes": nbytes})
+        with _host_region(env.sim, "pvm"):
+            dest._mail_seq += 1
+            msg = Message(self.tid, dest.tid, tag, nbytes, payload,
+                          lease.addr, dest._mail_seq, send_seq)
+            dest.mailbox.append(msg)
+            if tracer.enabled:
+                # The shared-buffer hand-off: the message changes hands
+                # here.
+                tracer.instant(env.now, "pvm.post", "pvm",
+                               pid=dest.env.hypernode, tid=dest.env.cpu,
+                               args={"source": self.tid, "dest": dest.tid,
+                                     "tag": tag, "nbytes": nbytes})
         # the notify store resolves the receiver's mail-flag spin:
         # the message send -> recv edge of the dependency graph
         yield env.store(dest._mail_flag, dest._mail_seq,

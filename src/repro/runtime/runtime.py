@@ -12,6 +12,7 @@ setup), exactly the effects Figure 2 of the paper measures.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional
 
 from ..machine import Machine, MemClass
@@ -19,6 +20,18 @@ from ..machine.address import Region
 from .scheduler import Placement, assign, hypernodes_used, team_geometry
 
 __all__ = ["ThreadEnv", "Runtime", "AsyncThread"]
+
+_NULL_CTX = nullcontext()
+
+
+def _host_region(sim, name: str):
+    """Hostscope region context for pure-Python runtime bookkeeping that
+    executes inside another process's slice; a shared null context when
+    no profiler is installed (one attribute check + one None check)."""
+    hs = sim.hostscope
+    if hs is None or not hs.detail:
+        return _NULL_CTX
+    return hs.region(name)
 
 
 class AsyncThread:
@@ -225,7 +238,7 @@ class Runtime:
         cr = self.machine.critscope
         if cr is not None:
             cr.thread_begin(env.tid, env.cpu, env.hypernode, self.sim.now)
-        proc = self.sim.process(body(env))
+        proc = self.sim.process(body(env), region="app")
         result = self.sim.run(until=proc)
         if cr is not None:
             cr.thread_end(env.tid, self.sim.now)
@@ -237,18 +250,19 @@ class Runtime:
         cfg = self.config
         machine = self.machine
         tracer = machine.tracer
-        cpus = assign(cfg, n_threads, placement)
-        target_hns = hypernodes_used(cfg, cpus)
-        cr = machine.critscope
-        if cr is not None:
-            cr.team(parent.tid, n_threads, team_geometry(cfg, cpus),
-                    placement.name)
-        if tracer.enabled:
-            tracer.begin(self.sim.now, "fork_join", "runtime",
-                         pid=parent.hypernode, tid=parent.cpu,
-                         args={"n_threads": n_threads,
-                               "placement": placement.name,
-                               "hypernodes": len(target_hns)})
+        with _host_region(self.sim, "sched"):
+            cpus = assign(cfg, n_threads, placement)
+            target_hns = hypernodes_used(cfg, cpus)
+            cr = machine.critscope
+            if cr is not None:
+                cr.team(parent.tid, n_threads, team_geometry(cfg, cpus),
+                        placement.name)
+            if tracer.enabled:
+                tracer.begin(self.sim.now, "fork_join", "runtime",
+                             pid=parent.hypernode, tid=parent.cpu,
+                             args={"n_threads": n_threads,
+                                   "placement": placement.name,
+                                   "hypernodes": len(target_hns)})
 
         # One-time kernel-to-kernel setup for newly touched hypernodes
         # (the ~50 us step in Figure 2 when a second hypernode joins).
@@ -258,9 +272,10 @@ class Runtime:
                 yield parent.compute(cfg.cross_node_setup_cycles,
                                      cat="forkjoin")
 
-        join_count = self.alloc_sync_word(parent.hypernode)
-        done_flag = self.alloc_sync_word(parent.hypernode)
-        results: List = [None] * n_threads
+        with _host_region(self.sim, "sched"):
+            join_count = self.alloc_sync_word(parent.hypernode)
+            done_flag = self.alloc_sync_word(parent.hypernode)
+            results: List = [None] * n_threads
         for tid_in_team, cpu in enumerate(cpus):
             child_hn = machine.topology.hypernode_of(cpu)
             spawn_cycles = cfg.spawn_local_cycles
@@ -269,22 +284,24 @@ class Runtime:
             yield parent.compute(spawn_cycles, cat="forkjoin")
             # The work descriptor lives on the child's hypernode: handing
             # work to a remote CPU pays a remote ownership transfer.
-            desc = self.alloc_sync_word(child_hn)
+            with _host_region(self.sim, "sched"):
+                desc = self.alloc_sync_word(child_hn)
             yield parent.store(desc, tid_in_team, cat="forkjoin")
-            child_env = ThreadEnv(self, self._next_tid, cpu)
-            self._next_tid += 1
-            if cr is not None:
-                # the fork edge: the child's existence depends on this
-                # point of the parent's timeline
-                cr.thread_begin(child_env.tid, cpu, child_hn,
-                                self.sim.now, parent=parent.tid)
-            if tracer.enabled:
-                tracer.instant(self.sim.now, "thread.spawn", "runtime",
-                               pid=child_hn, tid=cpu,
-                               args={"team_tid": tid_in_team})
-            self.sim.process(self._child(
-                child_env, body, tid_in_team, desc, join_count, done_flag,
-                n_threads, results))
+            with _host_region(self.sim, "sched"):
+                child_env = ThreadEnv(self, self._next_tid, cpu)
+                self._next_tid += 1
+                if cr is not None:
+                    # the fork edge: the child's existence depends on
+                    # this point of the parent's timeline
+                    cr.thread_begin(child_env.tid, cpu, child_hn,
+                                    self.sim.now, parent=parent.tid)
+                if tracer.enabled:
+                    tracer.instant(self.sim.now, "thread.spawn", "runtime",
+                                   pid=child_hn, tid=cpu,
+                                   args={"team_tid": tid_in_team})
+                self.sim.process(self._child(
+                    child_env, body, tid_in_team, desc, join_count,
+                    done_flag, n_threads, results), region="app")
 
         yield parent.spin(done_flag, lambda v: v == 1,
                           info=f"join of {n_threads}-thread team",
@@ -314,20 +331,23 @@ class Runtime:
         if child_hn != parent.hypernode:
             spawn_cycles += cfg.spawn_remote_extra_cycles
         yield parent.compute(spawn_cycles, cat="forkjoin")
-        desc = self.alloc_sync_word(child_hn)
+        with _host_region(self.sim, "sched"):
+            desc = self.alloc_sync_word(child_hn)
         yield parent.store(desc, 1, cat="forkjoin")
-        done_flag = self.alloc_sync_word(child_hn)
-        child_env = ThreadEnv(self, self._next_tid, cpu)
-        self._next_tid += 1
-        handle = AsyncThread(self, child_env.tid, cpu, done_flag)
-        cr = machine.critscope
-        if cr is not None:
-            cr.thread_begin(child_env.tid, cpu, child_hn, self.sim.now,
-                            parent=parent.tid)
-        tracer = machine.tracer
-        if tracer.enabled:
-            tracer.instant(self.sim.now, "thread.spawn_async", "runtime",
-                           pid=child_hn, tid=cpu, args={"tid": handle.tid})
+        with _host_region(self.sim, "sched"):
+            done_flag = self.alloc_sync_word(child_hn)
+            child_env = ThreadEnv(self, self._next_tid, cpu)
+            self._next_tid += 1
+            handle = AsyncThread(self, child_env.tid, cpu, done_flag)
+            cr = machine.critscope
+            if cr is not None:
+                cr.thread_begin(child_env.tid, cpu, child_hn, self.sim.now,
+                                parent=parent.tid)
+            tracer = machine.tracer
+            if tracer.enabled:
+                tracer.instant(self.sim.now, "thread.spawn_async",
+                               "runtime", pid=child_hn, tid=cpu,
+                               args={"tid": handle.tid})
 
         def child():
             yield child_env.load(desc, cat="forkjoin")
@@ -337,7 +357,8 @@ class Runtime:
             if cr is not None:
                 cr.thread_end(child_env.tid, self.sim.now)
 
-        self.sim.process(child())
+        with _host_region(self.sim, "sched"):
+            self.sim.process(child(), region="app")
         return handle
 
     def _child(self, env: ThreadEnv, body, tid_in_team: int, desc: int,

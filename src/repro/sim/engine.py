@@ -38,6 +38,13 @@ __all__ = ["Event", "Timeout", "Condition", "Simulator"]
 _UNSET = object()
 
 
+def _ambient_hostscope():
+    """Lazy lookup of the ambient host-time profiler, avoiding the
+    ``sim -> obs -> tools -> machine -> sim`` import cycle at load."""
+    from ..obs.hostscope import active_hostscope
+    return active_hostscope()
+
+
 class Event:
     """A one-shot occurrence in simulated time.
 
@@ -185,6 +192,13 @@ class Simulator:
         #: live (unfinished) :class:`~repro.sim.process.Process` count,
         #: maintained by the processes themselves — deadlock context.
         self.alive_processes = 0
+        #: optional :class:`~repro.obs.hostscope.HostScope` attributing
+        #: *host* wall-time to simulator subsystems.  Adopted from the
+        #: ambient ``use_hostscope`` scope at construction; ``None`` by
+        #: default so the hot loop pays exactly one ``is None`` check.
+        self.hostscope = _ambient_hostscope()
+        if self.hostscope is not None:
+            self.hostscope.simulators += 1
 
     # -- clock ----------------------------------------------------------
     @property
@@ -210,11 +224,16 @@ class Simulator:
         """An event that fires once *any one* of ``events`` has succeeded."""
         return Condition(self, tuple(events), need=1)
 
-    def process(self, generator: Generator):
-        """Start a new :class:`~repro.sim.process.Process` from a generator."""
+    def process(self, generator: Generator, region: "str | None" = None):
+        """Start a new :class:`~repro.sim.process.Process` from a generator.
+
+        ``region`` names the :mod:`~repro.obs.hostscope` host-time region
+        the process's generator slices are attributed to (default
+        ``"app"``); it has no effect on simulated time.
+        """
         from .process import Process
 
-        return Process(self, generator)
+        return Process(self, generator, region=region)
 
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -222,6 +241,8 @@ class Simulator:
             return
         event._scheduled = True
         heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        if self.hostscope is not None:
+            self.hostscope.note_push(len(self._queue))
 
     def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` ns; returns the underlying event."""
@@ -236,6 +257,9 @@ class Simulator:
 
     def step(self) -> None:
         """Process exactly one event from the queue."""
+        if self.hostscope is not None:
+            self._step_profiled(self.hostscope)
+            return
         time, _seq, event = heapq.heappop(self._queue)
         if time < self._now - 1e-12:
             raise SimulationError("event scheduled in the past")
@@ -248,6 +272,39 @@ class Simulator:
         if not event.ok and not event.defused:
             # A failed event nobody waited on: surface the error loudly
             # rather than silently dropping it.
+            raise event.value
+
+    def _step_profiled(self, hs) -> None:
+        """:meth:`step` with host-time accounting (hostscope installed)."""
+        detail = hs.detail
+        queue = self._queue
+        hs.events += 1
+        hs.depth_sum += len(queue)
+        if detail:
+            hs.enter("event_heap")
+            time, _seq, event = heapq.heappop(queue)
+            hs.exit()
+        else:
+            time, _seq, event = heapq.heappop(queue)
+        if time < self._now - 1e-12:
+            raise SimulationError("event scheduled in the past")
+        if time > self._now:
+            hs.sim_ns += time - self._now
+        self._now = time
+        if self.tracer is not None:
+            self.tracer.emit(time, "sim.dispatch")
+        callbacks, event.callbacks = event.callbacks, None
+        if detail:
+            hs.enter("dispatch")
+            try:
+                for callback in callbacks:
+                    callback(event)
+            finally:
+                hs.exit()
+        else:
+            for callback in callbacks:
+                callback(event)
+        if not event.ok and not event.defused:
             raise event.value
 
     def run(self, until: "float | Event | None" = None):

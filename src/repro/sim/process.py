@@ -29,9 +29,10 @@ __all__ = ["Process"]
 class Process(Event):
     """A running simulated activity; also an event for its completion."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "region")
 
-    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "",
+                 region: "str | None" = None):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(
                 f"Process needs a generator, got {type(generator).__name__}; "
@@ -40,6 +41,10 @@ class Process(Event):
         sim.alive_processes += 1
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        #: hostscope region this process's generator slices bill to
+        self.region = region or "app"
+        if sim.hostscope is not None:
+            sim.hostscope.processes += 1
         #: the event this process is currently waiting on (None when ready)
         self._target: Event | None = None
         # Kick-start at the current instant.
@@ -82,50 +87,61 @@ class Process(Event):
 
     # -- internal -------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.sim._active_process = self
-        self._target = None
+        # Host-time attribution: each generator slice bills to the
+        # process's hostscope region.  Off path (no profiler): one None
+        # check and a try/finally — the body stays inline, no extra call.
+        hs = self.sim.hostscope
+        prof = hs is not None and hs.detail
+        if prof:
+            hs.enter(self.region)
         try:
-            if event.ok:
-                next_event = self._generator.send(event.value)
-            else:
-                event.defused = True
-                next_event = self._generator.throw(event.value)
-        except StopIteration as stop:
+            self.sim._active_process = self
+            self._target = None
+            try:
+                if event.ok:
+                    next_event = self._generator.send(event.value)
+                else:
+                    event.defused = True
+                    next_event = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self.sim._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.sim._active_process = None
+                self.fail(exc)
+                return
             self.sim._active_process = None
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            self.sim._active_process = None
-            self.fail(exc)
-            return
-        self.sim._active_process = None
-        if not isinstance(next_event, Event):
-            kind = type(next_event).__name__
-            self._generator.close()
-            self.fail(SimulationError(
-                f"process {self.name!r} yielded a non-event ({kind})"))
-            return
-        if next_event.sim is not self.sim:
-            self._generator.close()
-            self.fail(SimulationError(
-                f"process {self.name!r} yielded an event from another "
-                "simulator"))
-            return
-        if next_event.processed:
-            # Already done: resume immediately (at the current instant) via
-            # a fresh proxy event so ordering stays FIFO.
-            proxy = Event(self.sim)
-            proxy.callbacks.append(self._resume)
-            if next_event.ok:
-                proxy.succeed(next_event.value)
+            if not isinstance(next_event, Event):
+                kind = type(next_event).__name__
+                self._generator.close()
+                self.fail(SimulationError(
+                    f"process {self.name!r} yielded a non-event ({kind})"))
+                return
+            if next_event.sim is not self.sim:
+                self._generator.close()
+                self.fail(SimulationError(
+                    f"process {self.name!r} yielded an event from another "
+                    "simulator"))
+                return
+            if next_event.processed:
+                # Already done: resume immediately (at the current
+                # instant) via a fresh proxy event so ordering stays FIFO.
+                proxy = Event(self.sim)
+                proxy.callbacks.append(self._resume)
+                if next_event.ok:
+                    proxy.succeed(next_event.value)
+                else:
+                    next_event.defused = True
+                    proxy.defused = True
+                    proxy.fail(next_event.value)
+                self._target = proxy
             else:
-                next_event.defused = True
-                proxy.defused = True
-                proxy.fail(next_event.value)
-            self._target = proxy
-        else:
-            next_event.callbacks.append(self._resume)
-            self._target = next_event
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+        finally:
+            if prof:
+                hs.exit()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.triggered else "alive"

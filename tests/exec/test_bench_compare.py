@@ -149,3 +149,57 @@ def test_fingerprints_carried_through():
     assert report["baseline_fingerprint"] == "old"
     assert report["current_git_sha"] == "c" * 40
     assert report["baseline_git_sha"] == "d" * 40
+
+
+# ---------------------------------------------------------------------------
+# calibration-based normalization (schema 2 host blocks)
+# ---------------------------------------------------------------------------
+
+def scored_doc(serial, score):
+    doc = bench_doc(serial)
+    doc["host"] = {"calibration_miters_s": score}
+    return doc
+
+
+def test_calibration_score_preferred_over_median():
+    # current host measured 2x slower by the microbenchmark; every
+    # experiment reading 2x slower is therefore expected, not a
+    # regression
+    current = {exp_id: s * 2 for exp_id, s in BASE.items()}
+    report = compare_bench(scored_doc(current, score=5.0),
+                           scored_doc(BASE, score=10.0))
+    assert report["normalization_mode"] == "calibration"
+    assert report["host_speed_factor"] == pytest.approx(2.0)
+    assert report["regressions"] == []
+
+
+def test_calibration_catches_uniform_code_slowdown():
+    # Same-speed hosts (equal scores) but every experiment 2x slower:
+    # the median heuristic would absorb this into the normalizer; the
+    # calibration score cannot be fooled by the experiments under test.
+    current = {exp_id: s * 2 for exp_id, s in BASE.items()}
+    report = compare_bench(scored_doc(current, score=10.0),
+                           scored_doc(BASE, score=10.0))
+    assert report["normalization_mode"] == "calibration"
+    assert report["host_speed_factor"] == pytest.approx(1.0)
+    assert sorted(report["regressions"]) == sorted(BASE)
+
+
+def test_median_fallback_for_schema1_baseline():
+    # old baselines have no host score: the median heuristic still
+    # applies with >= 4 shared experiments
+    current = {exp_id: s * 3 for exp_id, s in BASE.items()}
+    report = compare_bench(scored_doc(current, score=5.0),
+                           bench_doc(BASE))
+    assert report["normalization_mode"] == "median"
+    assert report["regressions"] == []
+
+
+def test_resolution_limited_rows_surface_in_markdown():
+    current = bench_doc(BASE)
+    current["experiments"]["fig2"][
+        "cached_speedup_resolution_limited"] = True
+    report = compare_bench(current, bench_doc(BASE))
+    assert report["cached_resolution_limited"] == ["fig2"]
+    md = markdown_compare(report)
+    assert "timer-resolution floor" in md and "`fig2`" in md

@@ -257,7 +257,7 @@ def test_bench_quick_writes_json(tmp_path, capsys):
     stdout = capsys.readouterr().out
     assert "Execution trajectory" in stdout
     doc = json.loads(out.read_text())
-    assert doc["schema_version"] == 1
+    assert doc["schema_version"] == 2
     assert doc["jobs"] == 2
     rows = doc["experiments"]
     assert rows
@@ -282,7 +282,7 @@ def test_cache_stats_report_fields_are_pinned(tmp_path):
         "experiment_id", "jobs", "units_planned", "from_checkpoint",
         "cache_hits", "cache_misses", "cache_stores", "cache_hit_rate",
         "computed", "retried_in_process", "fallback_points",
-        "wall_seconds", "cache_root",
+        "wall_seconds", "cache_root", "host_timing", "unit_timings",
     }
     assert d["experiment_id"] == "table1"
     assert d["cache_stores"] == d["units_planned"] == 2
