@@ -24,6 +24,10 @@ Examples::
     python -m repro fig3 --hostscope --metrics m.json  # fold into manifest
     python -m repro fig3 --jobs 4 --progress  # live JSONL sweep telemetry
     python -m repro bench --compare benchmarks/BENCH_baseline.json
+    python -m repro fig3 --jobs 4 --journal j.jsonl   # crash-safe journal
+    python -m repro fig3 --jobs 4 --journal j.jsonl --resume  # pick up
+    python -m repro fig3 --jobs 4 --unit-timeout 60 --retries 3
+    python -m repro fig3 --jobs 4 --chaos examples/chaos/kill_and_corrupt.json
 """
 
 from __future__ import annotations
@@ -87,9 +91,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist each completed sweep point of a long experiment to "
              "PATH (JSON), enabling --resume after a kill")
     parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="crash-safe sweep journal: append every unit completion to "
+             "PATH (JSONL, fsync-ed) so --resume replays an interrupted "
+             "--jobs N sweep exactly where it died; fabric experiments "
+             "only")
+    parser.add_argument(
         "--resume", action="store_true",
-        help="with --checkpoint: skip points already recorded in the "
-             "checkpoint file")
+        help="with --checkpoint and/or --journal: skip points already "
+             "recorded on disk")
+    parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock limit per work-unit attempt; a worker that "
+             "neither finishes nor fails in time is terminated, replaced, "
+             "and the unit retried (default: no timeout)")
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="worker retries per failed unit (exponential backoff) before "
+             "the final in-process attempt and quarantine (default: 2)")
+    parser.add_argument(
+        "--chaos", metavar="PATH", default=None,
+        help="host-chaos plan JSON (see docs/robustness.md): "
+             "deterministically kill workers, delay units, corrupt cache "
+             "entries, and drop results to exercise the resilience "
+             "machinery; $REPRO_CHAOS sets a default")
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for unit-aware experiments (default: 1, "
@@ -484,6 +509,16 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{args.memscope_sample}): 1 profiles every access, N "
               "profiles one in N", file=sys.stderr)
         return 2
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        print(f"--unit-timeout must be > 0 seconds (got "
+              f"{args.unit_timeout}); omit the flag to disable per-unit "
+              "timeouts", file=sys.stderr)
+        return 2
+    if args.retries is not None and args.retries < 0:
+        print(f"--retries must be >= 0 (got {args.retries}): 0 disables "
+              "worker retries, N allows N retries with exponential "
+              "backoff", file=sys.stderr)
+        return 2
     if args.seed is not None:
         _seed_rngs(args.seed)
     config = spp1000(n_hypernodes=args.hypernodes)
@@ -532,8 +567,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {line}", file=sys.stderr)
             return 2
 
-    if args.resume and not args.checkpoint:
-        print("--resume requires --checkpoint PATH", file=sys.stderr)
+    ok, chaos_plan = _load_chaos(args)
+    if not ok:
+        return 2
+
+    if args.resume and not (args.checkpoint or args.journal):
+        print("--resume requires --checkpoint PATH and/or --journal PATH",
+              file=sys.stderr)
         return 2
     checkpoint = None
     if args.checkpoint:
@@ -563,10 +603,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"output directory does not exist: {parent}",
                       file=sys.stderr)
                 return 2
-    from .exec import has_units
+    from .exec import JournalError, UnitExecutionError, has_units
 
     jobs = args.jobs or 1
     cache = _build_cache(args)
+    if cache is not None and any(has_units(t) for t in targets):
+        from .exec import CacheRootError
+
+        try:
+            cache.check_root()
+        except CacheRootError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    policy = None
+    if args.unit_timeout is not None or args.retries is not None:
+        from .exec import ResiliencePolicy
+        from .exec.resilience import DEFAULT_MAX_RETRIES
+
+        policy = ResiliencePolicy(
+            unit_timeout_s=args.unit_timeout,
+            max_retries=(args.retries if args.retries is not None
+                         else DEFAULT_MAX_RETRIES))
     progress = None
     if args.progress:
         from .exec import ProgressStream
@@ -606,6 +663,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"note: experiment {exp_id!r} has no work-unit planner; "
                   "--progress emits nothing for in-process runs",
                   file=sys.stderr)
+        if not fabric and (args.journal or chaos_plan is not None):
+            print(f"note: experiment {exp_id!r} has no work-unit planner; "
+                  "--journal/--chaos apply to fabric experiments only",
+                  file=sys.stderr)
+        journal = None
+        if args.journal and fabric:
+            from .exec import JournalError, SweepJournal
+
+            journal_path = _suffixed(args.journal, exp_id, multi)
+            if not args.resume and os.path.exists(journal_path):
+                try:  # like --checkpoint: no --resume means a fresh sweep
+                    os.remove(journal_path)
+                except OSError as exc:
+                    print(f"cannot reset journal {journal_path}: {exc}",
+                          file=sys.stderr)
+                    return 2
+            journal = SweepJournal(journal_path)
 
         def run_target():
             if fabric:
@@ -615,7 +689,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     exp_id, config, jobs=jobs, quick=args.quick,
                     cache=cache, checkpoint=checkpoint,
                     fault_plan=fault_plan, seed=args.seed,
-                    observed=observing, progress=progress)
+                    observed=observing, progress=progress,
+                    policy=policy, chaos=chaos_plan, journal=journal)
                 return result, rep
             return _run(exp_id, **kwargs), None
 
@@ -657,9 +732,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
                 hs_ctx = nullcontext()
                 hs_prof = nullcontext()
-            with use_tracer(tracer), ms_ctx, cs_ctx, hs_ctx, hs_prof, \
-                    faults_ctx:
-                result, report = run_target()
+            try:
+                with use_tracer(tracer), ms_ctx, cs_ctx, hs_ctx, hs_prof, \
+                        faults_ctx:
+                    result, report = run_target()
+            except (JournalError, UnitExecutionError) as exc:
+                return _execution_failed(exc, progress)
             print(result.render())
             if args.profile:
                 print()
@@ -702,8 +780,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                     path)
                 print(f"metrics manifest written to {path}")
         else:
-            with faults_ctx:
-                result, report = run_target()
+            try:
+                with faults_ctx:
+                    result, report = run_target()
+            except (JournalError, UnitExecutionError) as exc:
+                return _execution_failed(exc, progress)
             print(result.render())
         if args.cache_stats:
             print()
@@ -714,6 +795,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     if progress is not None:
         progress.close()
     return 0
+
+
+def _load_chaos(args):
+    """``(ok, plan)`` for ``--chaos``/``$REPRO_CHAOS`` (``(True, None)``
+    when no plan is requested); prints every validation problem."""
+    chaos_source = args.chaos or os.environ.get("REPRO_CHAOS") or None
+    if not chaos_source:
+        return True, None
+    from .exec import ChaosPlanError, load_chaos_plan
+
+    try:
+        return True, load_chaos_plan(chaos_source)
+    except OSError as exc:
+        print(f"cannot read chaos plan: {exc}", file=sys.stderr)
+        return False, None
+    except ChaosPlanError as exc:
+        print(f"invalid chaos plan {chaos_source}:", file=sys.stderr)
+        for line in str(exc).splitlines():
+            print(f"  {line}", file=sys.stderr)
+        return False, None
+
+
+def _execution_failed(exc, progress) -> int:
+    """Report a sweep that drained with poison units (or a bad journal).
+
+    Quarantined units already have everything else journaled/cached, so
+    the message says exactly what failed and a rerun recomputes only
+    those units.
+    """
+    from .exec import JournalError
+
+    print(str(exc), file=sys.stderr)
+    if progress is not None:
+        progress.close()
+    return 2 if isinstance(exc, JournalError) else 1
 
 
 def _build_cache(args):
@@ -734,10 +850,14 @@ def _bench(args, config) -> int:
     jobs = args.jobs if args.jobs is not None else 2
     only = (args.bench_experiments.split(",")
             if args.bench_experiments else None)
+    ok, chaos_plan = _load_chaos(args)
+    if not ok:
+        return 2
     progress = ProgressStream(args.progress) if args.progress else None
     try:
         doc = run_bench(config, jobs=jobs, quick=args.quick,
-                        experiment_ids=only, progress=progress)
+                        experiment_ids=only, progress=progress,
+                        chaos=chaos_plan)
     except ValueError as exc:
         print(f"bench: {exc}", file=sys.stderr)
         return 2

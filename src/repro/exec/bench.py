@@ -43,7 +43,11 @@ simulated-cycle and event counts are measured, not estimated.
 
 Schema history: v2 added the throughput columns, the enriched host
 block with the calibration score, ``parallel_breakdown``, and the
-timer-resolution floor on ``cached_speedup``.
+timer-resolution floor on ``cached_speedup``.  A row additionally
+carries a ``resilience`` block (retries, quarantined units, corrupt
+cache entries, hung-worker replacements, chaos injections) **only**
+when the run actually survived something — clean runs keep the exact
+v2 shape, no schema bump.
 """
 
 from __future__ import annotations
@@ -137,9 +141,41 @@ def host_info(*, calibrate: bool = True) -> Dict[str, object]:
     return info
 
 
+def _resilience_row(*reports) -> Optional[Dict[str, object]]:
+    """Merged resilience counters across passes, or ``None`` when every
+    pass was clean — a clean run's BENCH row keeps its old shape (the
+    ``resilience`` key appears without any schema bump only when there
+    is something to report)."""
+    row = {"retries": 0, "timeouts": 0, "hung_workers_replaced": 0,
+           "workers_replaced": 0, "serial_fallbacks": 0,
+           "quarantined_units": [], "cache_corrupt": 0,
+           "chaos_injected": {}}
+    dirty = False
+    for rep in reports:
+        if rep.cache_corrupt:
+            row["cache_corrupt"] += rep.cache_corrupt
+            dirty = True
+        resil = rep.resilience
+        if resil is None or not resil.any():
+            continue
+        dirty = True
+        for key in ("retries", "timeouts", "hung_workers_replaced",
+                    "workers_replaced", "serial_fallbacks"):
+            row[key] += getattr(resil, key)
+        row["quarantined_units"] += [f.key for f in resil.quarantined]
+        for kind, count in resil.chaos_injected.items():
+            row["chaos_injected"][kind] = \
+                row["chaos_injected"].get(kind, 0) + count
+    if not dirty:
+        return None
+    if not row["chaos_injected"]:
+        del row["chaos_injected"]
+    return row
+
+
 def run_bench(config, *, jobs: int = 2, quick: bool = False,
               experiment_ids: Optional[List[str]] = None,
-              progress=None) -> Dict:
+              progress=None, chaos=None) -> Dict:
     """Measure serial/parallel/cached wall time per experiment.
 
     Requested ``experiment_ids`` that are unknown or have no work-unit
@@ -153,6 +189,12 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
     serial/parallel/cached pass, then that pass's ``start``/``unit``/
     ``done`` records with per-unit host timings — the raw data behind
     the serial-vs-parallel gap.
+
+    ``chaos`` (a :class:`~repro.exec.chaos.ChaosPlan`) is injected into
+    the *parallel* pass only — the serial pass stays the clean
+    baseline, so the row's ``identical`` flag directly asserts the
+    chaos bit-identity contract; survived faults land in the row's
+    ``resilience`` block.
     """
     from .. import experiments  # noqa: F401 -- populate the unit registry
 
@@ -199,7 +241,8 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
             _mark("parallel", jobs)
             (parallel, prep), parallel_s = _timed(
                 lambda: execute(exp_id, config, jobs=jobs, quick=quick,
-                                cache=cache, progress=progress))
+                                cache=cache, progress=progress,
+                                chaos=chaos))
             _mark("cached", jobs)
             (cached, crep), cached_s = _timed(
                 lambda: execute(exp_id, config, jobs=jobs, quick=quick,
@@ -235,6 +278,9 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
                 "units_resimulated_warm": crep.computed,
                 "identical": identical,
             }
+            resilience = _resilience_row(prep, crep)
+            if resilience is not None:
+                experiments[exp_id]["resilience"] = resilience
             totals["serial_s"] += serial_s
             totals["parallel_s"] += parallel_s
             totals["cached_s"] += cached_s

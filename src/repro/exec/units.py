@@ -74,8 +74,13 @@ def has_units(experiment_id: str) -> bool:
 
 
 def unit_experiments() -> List[str]:
-    """Experiment ids with registered unit planners, registration order."""
-    return list(_UNITS)
+    """Experiment ids with registered unit planners, registration order.
+
+    Ids starting with ``_`` are private (synthetic planners registered
+    by the test suite) and are not enumerated — they remain runnable
+    through :func:`plan_units`/:func:`run_unit` by explicit id.
+    """
+    return [exp_id for exp_id in _UNITS if not exp_id.startswith("_")]
 
 
 def plan_units(experiment_id: str, config, quick: bool = False

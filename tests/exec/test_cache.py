@@ -124,3 +124,107 @@ def test_fingerprint_changes_with_source(tmp_path, monkeypatch):
     after = fp.code_fingerprint(str(copy))
     fp.clear_fingerprint_cache()
     assert before != after
+
+
+# -- payload-checksum integrity (cache schema v2) ---------------------------
+
+def test_checksum_corruption_quarantined_and_reexecutable(tmp_path):
+    """A well-formed entry whose payload fails its checksum is moved to
+    quarantine/, counted, and reads as a miss -- never served."""
+    from repro.exec.chaos import corrupt_cache_entry
+
+    cache = make_cache(tmp_path)
+    digest = cache.digest(UNIT, spp1000())
+    cache.put(digest, {"v": 42}, UNIT)
+    path = cache._path(digest)
+    assert corrupt_cache_entry(path)
+    with pytest.raises(KeyError):
+        cache.get(digest)
+    assert cache.corrupt == 1
+    assert cache.quarantined == 1
+    assert not os.path.exists(path)              # no longer served
+    assert cache.quarantine_entries() == 1       # preserved for autopsy
+    qpath = cache._quarantine_path(digest)
+    assert json.load(open(qpath))["value"]["__chaos_corrupted__"] is True
+    # re-execution stores a fresh verified entry
+    cache.put(digest, {"v": 42}, UNIT)
+    assert cache.get(digest) == {"v": 42}
+    stats = cache.stats()
+    assert stats["corrupt"] == 1 and stats["quarantined"] == 1
+
+
+def test_entries_carry_payload_checksum(tmp_path):
+    from repro.exec.cache import value_checksum
+
+    cache = make_cache(tmp_path)
+    digest = cache.digest(UNIT, spp1000())
+    cache.put(digest, [1, 2.5], UNIT)
+    entry = json.load(open(cache._path(digest)))
+    assert entry["schema"] == CACHE_SCHEMA == 2
+    assert entry["sha256"] == value_checksum([1, 2.5])
+
+
+def test_v1_entry_without_checksum_is_a_miss(tmp_path):
+    cache = make_cache(tmp_path)
+    digest = cache.digest(UNIT, spp1000())
+    path = cache._path(digest)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"schema": 1, "value": 1}, fh)
+    with pytest.raises(KeyError):
+        cache.get(digest)
+    assert cache.corrupt == 0      # structural, not silent corruption
+
+
+# -- actionable cache-root validation ---------------------------------------
+
+def test_check_root_rejects_file(tmp_path):
+    from repro.exec.cache import CacheRootError
+
+    target = tmp_path / "afile"
+    target.write_text("x")
+    with pytest.raises(CacheRootError) as excinfo:
+        ResultCache(str(target), "f" * 64).check_root()
+    message = str(excinfo.value)
+    assert str(target) in message
+    assert "--cache-dir" in message
+
+
+def test_check_root_rejects_foreign_directory(tmp_path):
+    from repro.exec.cache import CacheRootError
+
+    target = tmp_path / "documents"
+    target.mkdir()
+    (target / "thesis.txt").write_text("x")
+    with pytest.raises(CacheRootError) as excinfo:
+        ResultCache(str(target), "f" * 64).check_root()
+    message = str(excinfo.value)
+    assert "'thesis.txt'" in message
+    assert "non-cache files" in message
+
+
+def test_check_root_accepts_fresh_and_existing_roots(tmp_path):
+    cache = make_cache(tmp_path)
+    cache.check_root()                       # creates the root
+    digest = cache.digest(UNIT, spp1000())
+    cache.put(digest, 1, UNIT)
+    cache.check_root()                       # existing cache root is fine
+    assert os.path.isdir(os.path.join(cache.root, "objects"))
+
+
+def test_check_root_unwritable_is_actionable(tmp_path, monkeypatch):
+    import tempfile as _tempfile
+
+    from repro.exec.cache import CacheRootError
+
+    cache = make_cache(tmp_path)
+
+    def denied(*args, **kwargs):
+        raise PermissionError(13, "Permission denied")
+
+    monkeypatch.setattr(_tempfile, "NamedTemporaryFile", denied)
+    with pytest.raises(CacheRootError) as excinfo:
+        cache.check_root()
+    message = str(excinfo.value)
+    assert "not writable" in message and "Permission denied" in message
+    assert "--no-cache" in message

@@ -208,3 +208,39 @@ def test_render_bench_notes_resolution_limited():
     text = render_bench(doc)
     assert "units/s" in text and "Mcyc/s" in text
     assert "timer-resolution floor" in text
+
+
+# ---------------------------------------------------------------------------
+# telemetry under worker crash / retry (the resilience event stream)
+# ---------------------------------------------------------------------------
+
+def test_progress_jsonl_stays_well_formed_under_worker_crash(
+        config, tmp_path):
+    """Chaos-killed workers must not tear the JSONL stream: every line
+    parses, a retry event is emitted, and ETA/occupancy recover (the
+    done counter still reaches the total)."""
+    from repro.exec import ResiliencePolicy, chaos_from_dict
+
+    chaos = chaos_from_dict({"faults": [
+        {"kind": "kill_worker", "unit": 0},
+        {"kind": "drop_return", "unit": 1},
+    ]})
+    path = tmp_path / "crash.jsonl"
+    with ProgressStream(str(path)) as ps:
+        execute("fig3", config, jobs=2, quick=True, progress=ps,
+                chaos=chaos, policy=ResiliencePolicy(backoff_s=0.0))
+    records = [json.loads(line)                      # every line parses
+               for line in path.read_text().strip().splitlines()]
+    kinds = [r["event"] for r in records]
+    assert kinds[0] == "start" and kinds[-1] == "done"
+    retries = [r for r in records if r["event"] == "retry"]
+    assert retries, "expected retry events in the stream"
+    for retry in retries:
+        assert retry["key"] and retry["attempt"] >= 2
+        assert "error" in retry and "t_s" in retry
+    units = [r for r in records if r["event"] == "unit"]
+    dones = [r["done"] for r in units]
+    assert dones == sorted(dones)
+    assert dones[-1] == records[0]["to_compute"]     # sweep completed
+    assert all(r["eta_s"] is None or r["eta_s"] >= 0 for r in units)
+    assert all(r["workers_busy"] >= 0 for r in units)

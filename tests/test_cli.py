@@ -304,3 +304,123 @@ def test_cache_stats_line_warm_run_shows_hits(tmp_path, capsys):
     line = [ln for ln in capsys.readouterr().out.splitlines()
             if ln.startswith("[exec table1]")][0]
     assert "cache 2 hits / 0 misses (100% hit rate)" in line
+
+
+# ---------------------------------------------------------------------------
+# resilience flags: --unit-timeout / --retries / --chaos / --journal
+# ---------------------------------------------------------------------------
+
+def test_parser_has_resilience_flags():
+    from repro.cli import build_parser
+
+    text = build_parser().format_help()
+    for flag in ("--unit-timeout", "--retries", "--chaos", "--journal"):
+        assert flag in text
+
+
+def test_unit_timeout_must_be_positive(capsys):
+    assert main(["fig3", "--unit-timeout", "0"]) == 2
+    assert "--unit-timeout must be > 0" in capsys.readouterr().err
+
+
+def test_retries_must_be_non_negative(capsys):
+    assert main(["fig3", "--retries", "-1"]) == 2
+    assert "--retries must be >= 0" in capsys.readouterr().err
+
+
+def test_missing_chaos_plan_fails_cleanly(capsys):
+    assert main(["fig3", "--chaos", "/nonexistent/chaos.json"]) == 2
+    assert "cannot read chaos plan" in capsys.readouterr().err
+
+
+def test_invalid_chaos_plan_lists_problems(tmp_path, capsys):
+    plan = tmp_path / "bad.json"
+    plan.write_text('{"faults": [{"kind": "explode", "unit": 0},'
+                    ' {"kind": "kill_worker"}], "bogus": 1}')
+    assert main(["fig3", "--chaos", str(plan)]) == 2
+    err = capsys.readouterr().err
+    assert "invalid chaos plan" in err
+    assert "'explode'" in err
+    assert "bogus" in err
+    assert "neither" in err
+
+
+def test_chaos_env_var_activates_plan(tmp_path, capsys, monkeypatch):
+    plan = tmp_path / "bad.json"
+    plan.write_text('{"faults": [{"kind": "explode", "unit": 0}]}')
+    monkeypatch.setenv("REPRO_CHAOS", str(plan))
+    assert main(["fig3", "--quick"]) == 2
+    assert "invalid chaos plan" in capsys.readouterr().err
+
+
+def test_resume_accepts_journal_without_checkpoint(tmp_path, capsys):
+    journal = tmp_path / "j.jsonl"
+    assert main(["fig3", "--quick", "--no-cache", "--journal",
+                 str(journal), "--resume"]) == 0
+    assert journal.exists()
+
+
+def test_journal_run_then_resume_replays(tmp_path, capsys):
+    journal = tmp_path / "j.jsonl"
+    assert main(["fig3", "--quick", "--no-cache", "--jobs", "2",
+                 "--journal", str(journal), "--cache-stats"]) == 0
+    capsys.readouterr()
+    assert main(["fig3", "--quick", "--no-cache", "--journal",
+                 str(journal), "--resume", "--cache-stats"]) == 0
+    out = capsys.readouterr().out
+    assert "replayed from journal" in out
+    assert "0 computed" in out
+
+
+def test_journal_without_resume_starts_fresh(tmp_path, capsys):
+    journal = tmp_path / "j.jsonl"
+    journal.write_text("stale bytes that would be refused on replay\n")
+    assert main(["fig3", "--quick", "--no-cache", "--journal",
+                 str(journal)]) == 0
+    # the stale file was reset, then rewritten with a valid header
+    import json as _json
+
+    header = _json.loads(journal.read_text().splitlines()[0])
+    assert header["experiment_id"] == "fig3"
+
+
+def test_cache_dir_pointing_at_file_is_actionable(tmp_path, capsys):
+    target = tmp_path / "afile"
+    target.write_text("x")
+    assert main(["fig3", "--quick", "--cache-dir", str(target)]) == 2
+    err = capsys.readouterr().err
+    assert "is a file, not a directory" in err
+    assert str(target) in err
+
+
+def test_cache_dir_with_foreign_files_is_actionable(tmp_path, capsys):
+    target = tmp_path / "docs"
+    target.mkdir()
+    (target / "notes.txt").write_text("x")
+    assert main(["fig3", "--quick", "--cache-dir", str(target)]) == 2
+    err = capsys.readouterr().err
+    assert "non-cache files" in err and "notes.txt" in err
+
+
+def test_chaos_run_is_bit_identical_to_clean_serial(tmp_path, capsys):
+    """The CLI-level pin of the chaos contract: kill two workers,
+    corrupt cache entries, delay a unit -- same bytes out."""
+    import json as _json
+
+    chaos = tmp_path / "chaos.json"
+    chaos.write_text(_json.dumps({"faults": [
+        {"kind": "kill_worker", "unit": 0},
+        {"kind": "kill_worker", "unit": 1},
+        {"kind": "delay_unit", "unit": 2, "seconds": 0.02},
+    ]}))
+    clean_ck = tmp_path / "clean.ckpt"
+    chaos_ck = tmp_path / "chaos.ckpt"
+    assert main(["fig3", "--quick", "--no-cache",
+                 "--checkpoint", str(clean_ck)]) == 0
+    assert main(["fig3", "--quick", "--no-cache", "--jobs", "2",
+                 "--chaos", str(chaos), "--checkpoint", str(chaos_ck),
+                 "--cache-stats"]) == 0
+    assert clean_ck.read_bytes() == chaos_ck.read_bytes()
+    out = capsys.readouterr().out
+    assert "survived" in out
+    assert "chaos faults injected" in out
