@@ -214,6 +214,8 @@ def _unknown_experiment(exp_id: str) -> int:
           "experiment", file=sys.stderr)
     print("  hostscope  host-time self-profile of an experiment",
           file=sys.stderr)
+    print("  serve      run the simulation job server (repro.sdk "
+          "clients)", file=sys.stderr)
     return 2
 
 
@@ -486,6 +488,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = argv[1:]
     if argv and argv[0] == "--list":
         argv = ["list"] + argv[1:]
+    if argv and argv[0] == "serve":
+        # the job server has its own parser (``repro serve --help``)
+        from .server import serve_main
+
+        return serve_main(argv[1:])
     memscope_cmd = False
     if argv and argv[0] == "memscope":
         memscope_cmd = True
@@ -530,8 +537,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _hostscope(args, config)
     if args.experiment is None:
         print("an experiment id (or 'list', 'all', 'bench', 'timeline', "
-              "'memscope', 'critscope', 'hostscope') is required; try "
-              "'python -m repro list'", file=sys.stderr)
+              "'memscope', 'critscope', 'hostscope', 'serve') is "
+              "required; try 'python -m repro list'", file=sys.stderr)
         return 2
     if args.experiment == "list":
         from .exec import unit_count
@@ -541,6 +548,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             units = (f"{count:3d} units" if count is not None
                      else "in-process")
             print(f"{exp_id:10s} {units:>10s}  {title}")
+        print("experiments with units are servable as streaming sweep "
+              "jobs via 'python -m repro serve' (repro.sdk clients); "
+              "in-process experiments run whole per job")
         return 0
     if args.experiment == "timeline":
         return _timeline(args)

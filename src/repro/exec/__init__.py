@@ -55,6 +55,13 @@ from .chaos import (
     corrupt_cache_entry,
     load_chaos_plan,
 )
+from .events import (
+    EVENT_KINDS,
+    EVENT_SCHEMA,
+    EventSchemaError,
+    make_event,
+    validate_event,
+)
 from .fingerprint import clear_fingerprint_cache, code_fingerprint, git_sha
 from .journal import JournalError, SweepJournal
 from .pool import PoolStats, WorkerPool
@@ -87,6 +94,8 @@ __all__ = [
     "ChaosPlan", "ChaosPlanError", "chaos_from_dict", "load_chaos_plan",
     "CHAOS_ENV",
     "SweepJournal", "JournalError",
+    "EVENT_SCHEMA", "EVENT_KINDS", "EventSchemaError", "make_event",
+    "validate_event",
     "code_fingerprint", "git_sha", "clear_fingerprint_cache",
     "ExecutionReport", "execute",
 ]
@@ -312,13 +321,13 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
 
         effective_jobs = 1 if observed else jobs
         if progress is not None:
-            progress.emit({
-                "event": "start", "experiment": experiment_id,
-                "units": len(units), "to_compute": len(remaining),
-                "from_checkpoint": report.from_checkpoint,
-                "cache_hits": report.cache_hits,
-                "jobs": min(effective_jobs, max(len(remaining), 1)),
-            })
+            progress.emit(make_event(
+                "start", experiment=experiment_id,
+                units=len(units), to_compute=len(remaining),
+                from_checkpoint=report.from_checkpoint,
+                cache_hits=report.cache_hits,
+                jobs=min(effective_jobs, max(len(remaining), 1)),
+            ))
 
         timing["cache_store_s"] = 0.0
         if remaining:
@@ -349,10 +358,9 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
                 done += 1
                 elapsed = time.monotonic() - pool_t0
                 rate = done / elapsed if elapsed > 0 else 0.0
-                record_out = {"event": "unit", "key": unit.key}
-                record_out.update(unit_timing)
-                record_out.update({
-                    "done": done, "total": total,
+                fields = dict(unit_timing)
+                fields.update({
+                    "key": unit.key, "done": done, "total": total,
                     "eta_s": round((total - done) / rate, 3)
                     if rate else None,
                     "cache_hit_rate": round(report.cache_hit_rate, 4),
@@ -361,7 +369,7 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
                     if unit_timing.get("where") == "worker" else
                     (1 if done < total else 0),
                 })
-                progress.emit(record_out)
+                progress.emit(make_event("unit", **fields))
 
             t_phase = time.perf_counter()
             try:
@@ -400,10 +408,10 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
     report.fallback_points = store.computed
     report.wall_seconds = time.perf_counter() - t0
     if progress is not None:
-        progress.emit({
-            "event": "done", "experiment": experiment_id,
-            "computed": report.computed, "cache_hits": report.cache_hits,
-            "cache_hit_rate": round(report.cache_hit_rate, 4),
-            "wall_s": round(report.wall_seconds, 3),
-        })
+        progress.emit(make_event(
+            "done", experiment=experiment_id,
+            computed=report.computed, cache_hits=report.cache_hits,
+            cache_hit_rate=round(report.cache_hit_rate, 4),
+            wall_s=round(report.wall_seconds, 3),
+        ))
     return result, report

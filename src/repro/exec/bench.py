@@ -64,6 +64,7 @@ from ..core.canon import canonical_json
 from ..core.tables import Table
 from ..obs.hostscope import HostScope, use_hostscope
 from . import ResultCache, execute, unit_experiments
+from .events import make_event
 from .fingerprint import code_fingerprint, git_sha
 
 __all__ = ["BENCH_SCHEMA", "host_info", "run_bench", "write_bench",
@@ -227,9 +228,9 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
 
             def _mark(pass_name, pass_jobs):
                 if progress is not None:
-                    progress.emit({"event": "bench_pass",
-                                   "experiment": exp_id,
-                                   "pass": pass_name, "jobs": pass_jobs})
+                    progress.emit(make_event(
+                        "bench_pass", experiment=exp_id,
+                        **{"pass": pass_name, "jobs": pass_jobs}))
 
             def _serial():
                 with use_hostscope(scope):

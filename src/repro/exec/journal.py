@@ -32,6 +32,7 @@ from typing import Dict, Optional, TextIO
 
 from ..core.canon import canonical
 from .cache import value_checksum
+from .events import journal_header, journal_record
 
 __all__ = ["SweepJournal", "JournalError", "JOURNAL_SCHEMA"]
 
@@ -131,18 +132,15 @@ class SweepJournal:
         os.makedirs(parent, exist_ok=True)
         self._fh = open(self.path, "a", encoding="utf-8")
         if fresh:
-            header = {"journal": JOURNAL_SCHEMA,
-                      "experiment_id": experiment_id}
-            if fingerprint:
-                header["fingerprint"] = fingerprint
-            self._append(header)
+            self._append(journal_header(JOURNAL_SCHEMA, experiment_id,
+                                        fingerprint))
 
     def record(self, key: str, value) -> None:
         """Append one completion; durable (flush + fsync) on return."""
         if self._fh is None:
             raise JournalError("journal is not open for recording")
-        self._append({"key": key, "value": canonical(value),
-                      "sha256": value_checksum(value)})
+        self._append(journal_record(key, canonical(value),
+                                    value_checksum(value)))
         self.recorded += 1
 
     def _append(self, obj: Dict) -> None:

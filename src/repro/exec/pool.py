@@ -51,6 +51,7 @@ from collections import deque
 from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
+from .events import make_event
 from .resilience import (
     ResiliencePolicy,
     ResilienceStats,
@@ -274,9 +275,10 @@ class WorkerPool:
                 if isinstance(outcome, UnitFailure):
                     stats.resilience.quarantined.append(outcome)
                     if on_event is not None:
-                        on_event({"event": "quarantine", "key": unit.key,
-                                  "attempts": outcome.attempts,
-                                  "error": outcome.error})
+                        on_event(make_event(
+                            "quarantine", key=unit.key,
+                            attempts=outcome.attempts,
+                            error=outcome.error))
                     continue
                 value, timing = outcome
                 values[unit.key] = value
@@ -333,12 +335,12 @@ class WorkerPool:
                 if attempt < max_attempts:
                     stats.resilience.retries += 1
                     if on_event is not None:
-                        on_event({
-                            "event": "retry", "key": unit.key,
-                            "attempt": attempt + 1,
-                            "max_attempts": max_attempts,
-                            "where": "local", "error": repr(exc),
-                            "backoff_s": policy.backoff_for(attempt + 1)})
+                        on_event(make_event(
+                            "retry", key=unit.key,
+                            attempt=attempt + 1,
+                            max_attempts=max_attempts,
+                            where="local", error=repr(exc),
+                            backoff_s=policy.backoff_for(attempt + 1)))
                 attempt += 1
         error = repr(last_exc) if last_exc is not None else prior_error
         tb = ("".join(traceback.format_exception(
@@ -388,8 +390,8 @@ class WorkerPool:
             stats.retried_in_process += 1
             stats.resilience.serial_fallbacks += 1
             if on_event is not None:
-                on_event({"event": "serial_fallback", "key": key,
-                          "reason": "pool unavailable"})
+                on_event(make_event("serial_fallback", key=key,
+                                    reason="pool unavailable"))
             outcome = self._attempt_in_process(
                 task.unit, config, stats, chaos_spec,
                 max_attempts=policy.pool_attempts, on_event=on_event)
@@ -405,11 +407,11 @@ class WorkerPool:
             stats.resilience.retries += 1
             stats.resilience.serial_fallbacks += 1
             if on_event is not None:
-                on_event({"event": "retry", "key": key,
-                          "attempt": task.attempt + 1,
-                          "max_attempts": policy.pool_attempts + 1,
-                          "where": "local", "error": task.exhausted_error,
-                          "backoff_s": 0.0})
+                on_event(make_event(
+                    "retry", key=key, attempt=task.attempt + 1,
+                    max_attempts=policy.pool_attempts + 1,
+                    where="local", error=task.exhausted_error,
+                    backoff_s=0.0))
             outcome = self._attempt_in_process(
                 task.unit, config, stats, chaos_spec,
                 max_attempts=task.attempt + 1,
@@ -429,9 +431,9 @@ class WorkerPool:
         if isinstance(outcome, UnitFailure):
             stats.resilience.quarantined.append(outcome)
             if on_event is not None:
-                on_event({"event": "quarantine", "key": task.unit.key,
-                          "attempts": outcome.attempts,
-                          "error": outcome.error})
+                on_event(make_event(
+                    "quarantine", key=task.unit.key,
+                    attempts=outcome.attempts, error=outcome.error))
             return
         value, timing = outcome
         values[task.unit.key] = value
@@ -478,11 +480,11 @@ class WorkerPool:
                 stats.resilience.retries += 1
                 backoff = policy.backoff_for(attempt + 1)
                 if on_event is not None:
-                    on_event({"event": "retry", "key": key,
-                              "attempt": attempt + 1,
-                              "max_attempts": policy.pool_attempts + 1,
-                              "where": "worker", "error": error,
-                              "backoff_s": round(backoff, 3)})
+                    on_event(make_event(
+                        "retry", key=key, attempt=attempt + 1,
+                        max_attempts=policy.pool_attempts + 1,
+                        where="worker", error=error,
+                        backoff_s=round(backoff, 3)))
                 pending.append((key, attempt + 1, now + backoff))
             else:
                 task.exhausted_error = error
@@ -585,10 +587,10 @@ class WorkerPool:
                         stats.resilience.timeouts += 1
                         stats.resilience.hung_workers_replaced += 1
                         if on_event is not None:
-                            on_event({"event": "hung_worker",
-                                      "key": info["key"], "pid": pid,
-                                      "elapsed_s": round(elapsed, 3),
-                                      "timeout_s": policy.unit_timeout_s})
+                            on_event(make_event(
+                                "hung_worker", key=info["key"], pid=pid,
+                                elapsed_s=round(elapsed, 3),
+                                timeout_s=policy.unit_timeout_s))
                         fail_attempt(
                             info["key"], info["attempt"],
                             f"timed out after {elapsed:.1f}s "

@@ -44,3 +44,22 @@ def test_bench_renders_a_table():
     assert "table1" in text
     assert "TOTAL" in text
     assert "NO" not in text  # every row bit-identical
+
+
+def test_committed_bench_artifact_matches_current_schema():
+    """The BENCH_exec.json committed at the repo root must be written
+    by the current generator — a schema bump without regenerating it
+    would ship a stale artifact (CI asserts the same before its own
+    bench run)."""
+    import os
+
+    root = os.path.join(os.path.dirname(__file__), "..", "..")
+    path = os.path.join(root, "BENCH_exec.json")
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["schema_version"] == BENCH_SCHEMA, (
+        f"committed BENCH_exec.json is schema {doc['schema_version']}, "
+        f"the generator writes {BENCH_SCHEMA}; regenerate with: "
+        "python -m repro bench --quick --jobs 2 --bench-out "
+        "BENCH_exec.json")
+    assert doc["generator"] == "repro.exec.bench"

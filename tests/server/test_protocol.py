@@ -1,0 +1,82 @@
+"""Wire-protocol unit tests: NDJSON framing and message validation."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    CLIENT_KINDS,
+    PROTOCOL_VERSION,
+    SERVER_KINDS,
+    ProtocolError,
+    decode,
+    encode,
+    validate_message,
+)
+
+
+def test_encode_is_one_compact_ndjson_line():
+    raw = encode({"kind": "ping"})
+    assert raw.endswith(b"\n")
+    assert raw.count(b"\n") == 1
+    assert b" " not in raw  # compact separators
+
+
+def test_encode_decode_round_trip():
+    message = {"kind": "submit", "experiment": "fig3", "quick": True,
+               "priority": 3, "telemetry": ["hostscope"]}
+    assert decode(encode(message)) == message
+
+
+def test_decode_rejects_non_json():
+    with pytest.raises(ProtocolError, match="not a JSON line"):
+        decode(b"this is not json\n")
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ProtocolError, match="expected a JSON object"):
+        decode(b"[1,2,3]\n")
+
+
+def test_decode_rejects_missing_kind():
+    with pytest.raises(ProtocolError, match="no 'kind' field"):
+        decode(b'{"experiment":"fig3"}\n')
+
+
+def test_validate_rejects_unknown_kind():
+    with pytest.raises(ProtocolError, match="unknown client message"):
+        validate_message({"kind": "frobnicate"}, side="client")
+
+
+def test_validate_rejects_missing_required_fields():
+    with pytest.raises(ProtocolError, match="missing required"):
+        validate_message({"kind": "submit"}, side="client")
+    with pytest.raises(ProtocolError, match="missing required"):
+        validate_message({"kind": "result", "job": "j1"}, side="server")
+
+
+def test_validate_allows_extra_fields():
+    kind = validate_message(
+        {"kind": "hello", "protocol": PROTOCOL_VERSION,
+         "client": "x", "future_field": 1}, side="client")
+    assert kind == "hello"
+
+
+def test_sides_are_disjoint_tables():
+    # a server kind is not accepted from a client, and vice versa
+    with pytest.raises(ProtocolError):
+        validate_message({"kind": "result"}, side="client")
+    with pytest.raises(ProtocolError):
+        validate_message({"kind": "submit", "experiment": "fig3"},
+                         side="server")
+
+
+def test_every_kind_table_entry_is_spellable():
+    for kind, fields in {**CLIENT_KINDS, **SERVER_KINDS}.items():
+        message = {"kind": kind}
+        message.update({f: None for f in fields})
+        side = "client" if kind in CLIENT_KINDS else "server"
+        assert validate_message(message, side=side) == kind
+        # and survives the wire
+        assert decode(encode(message)) == json.loads(
+            encode(message).decode())
