@@ -216,6 +216,8 @@ def _unknown_experiment(exp_id: str) -> int:
           file=sys.stderr)
     print("  serve      run the simulation job server (repro.sdk "
           "clients)", file=sys.stderr)
+    print("  top        live dashboard for a running job server",
+          file=sys.stderr)
     return 2
 
 
@@ -493,6 +495,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .server import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "top":
+        # the live dashboard has its own parser (``repro top --help``)
+        from .obs.top import top_main
+
+        return top_main(argv[1:])
     memscope_cmd = False
     if argv and argv[0] == "memscope":
         memscope_cmd = True
@@ -537,7 +544,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _hostscope(args, config)
     if args.experiment is None:
         print("an experiment id (or 'list', 'all', 'bench', 'timeline', "
-              "'memscope', 'critscope', 'hostscope', 'serve') is "
+              "'memscope', 'critscope', 'hostscope', 'serve', 'top') is "
               "required; try 'python -m repro list'", file=sys.stderr)
         return 2
     if args.experiment == "list":

@@ -238,6 +238,15 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
     with the healthy units safely journaled/cached/checkpointed.
     """
     from ..experiments import get_experiment
+    from ..obs.tracectx import active_tracectx
+
+    # Ambient trace context (one check per run): when a TraceContext is
+    # installed (use_tracectx — the server does this per job), progress
+    # records carry its trace/job IDs and per-unit pool spans land in
+    # ctx.spans.  Host-side bookkeeping only: simulated results and
+    # clocks are bit-identical with or without it.
+    ctx = active_tracectx()
+    stamp = ctx.stamp if ctx is not None else (lambda record: record)
 
     t0 = time.perf_counter()
     report = ExecutionReport(experiment_id, jobs)
@@ -321,13 +330,13 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
 
         effective_jobs = 1 if observed else jobs
         if progress is not None:
-            progress.emit(make_event(
+            progress.emit(stamp(make_event(
                 "start", experiment=experiment_id,
                 units=len(units), to_compute=len(remaining),
                 from_checkpoint=report.from_checkpoint,
                 cache_hits=report.cache_hits,
                 jobs=min(effective_jobs, max(len(remaining), 1)),
-            ))
+            )))
 
         timing["cache_store_s"] = 0.0
         if remaining:
@@ -356,6 +365,15 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
             def heartbeat(unit, unit_timing):
                 nonlocal done
                 done += 1
+                if ctx is not None:
+                    # pool-unit host span: ends now, started run_s ago
+                    t1 = time.time()
+                    ctx.add_span(
+                        f"unit {unit.key}", t1 - unit_timing.get("run_s", 0.0),
+                        t1, cat="exec.unit", origin="pool",
+                        where=unit_timing.get("where", "worker"))
+                if progress is None:
+                    return
                 elapsed = time.monotonic() - pool_t0
                 rate = done / elapsed if elapsed > 0 else 0.0
                 fields = dict(unit_timing)
@@ -369,14 +387,15 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
                     if unit_timing.get("where") == "worker" else
                     (1 if done < total else 0),
                 })
-                progress.emit(make_event("unit", **fields))
+                progress.emit(stamp(make_event("unit", **fields)))
 
             t_phase = time.perf_counter()
             try:
                 computed = pool.map_units(
                     remaining, config, fault_plan=fault_plan, seed=seed,
                     stats=stats, on_unit=record,
-                    on_progress=heartbeat if progress is not None else None,
+                    on_progress=heartbeat
+                    if (progress is not None or ctx is not None) else None,
                     on_event=progress.emit if progress is not None else None,
                     on_complete=complete if journal is not None else None,
                     chaos_spec=worker_spec)
@@ -408,10 +427,10 @@ def execute(experiment_id: str, config, *, jobs: int = 1,
     report.fallback_points = store.computed
     report.wall_seconds = time.perf_counter() - t0
     if progress is not None:
-        progress.emit(make_event(
+        progress.emit(stamp(make_event(
             "done", experiment=experiment_id,
             computed=report.computed, cache_hits=report.cache_hits,
             cache_hit_rate=round(report.cache_hit_rate, 4),
             wall_s=round(report.wall_seconds, 3),
-        ))
+        )))
     return result, report

@@ -349,6 +349,24 @@ def render_bench(doc: Dict) -> str:
 
 # -- the regression observatory -------------------------------------------
 
+#: scalar resilience counters folded into ``bench --compare``; the list
+#: (quarantined_units) and dict (chaos_injected) fields are summarised
+#: to counts so the comparison table stays one row per experiment.
+_RESILIENCE_KEYS = ("retries", "timeouts", "hung_workers_replaced",
+                    "workers_replaced", "serial_fallbacks", "cache_corrupt")
+
+
+def _resilience_summary(row: Dict) -> Dict[str, int]:
+    """Flatten one bench row's ``resilience`` block (possibly absent —
+    clean runs omit it) to comparable integer counters."""
+    resil = row.get("resilience") or {}
+    summary = {key: int(resil.get(key, 0) or 0) for key in _RESILIENCE_KEYS}
+    summary["quarantined"] = len(resil.get("quarantined_units") or ())
+    summary["chaos_injected"] = sum(
+        (resil.get("chaos_injected") or {}).values())
+    return summary
+
+
 def compare_bench(current: Dict, baseline: Dict, *,
                   threshold: float = 0.25, min_abs_s: float = 0.02,
                   normalize: Optional[bool] = None) -> Dict:
@@ -432,6 +450,17 @@ def compare_bench(current: Dict, baseline: Dict, *,
     resolution_limited = sorted(
         e for e, row in cur_rows.items()
         if row.get("cached_speedup_resolution_limited"))
+    # Fault behaviour comparison: one entry per shared experiment where
+    # either run survived something (PR 7's resilience counters).  The
+    # fold is informational — the exit code stays driven by the serial
+    # timing check alone, because a retried-but-identical run is a
+    # fabric save, not a code regression.
+    resilience: Dict[str, Dict] = {}
+    for exp_id in shared:
+        base_r = _resilience_summary(base_rows[exp_id])
+        cur_r = _resilience_summary(cur_rows[exp_id])
+        if any(base_r.values()) or any(cur_r.values()):
+            resilience[exp_id] = {"baseline": base_r, "current": cur_r}
     return {
         "schema_version": BENCH_SCHEMA,
         "threshold": threshold,
@@ -445,6 +474,7 @@ def compare_bench(current: Dict, baseline: Dict, *,
         "baseline_git_sha": baseline.get("git_sha"),
         "current_git_sha": current.get("git_sha"),
         "experiments": experiments,
+        "resilience": resilience,
         "regressions": regressions,
         "improvements": improvements,
         "new": sorted(e for e in cur_rows if e not in base_rows),
@@ -476,6 +506,15 @@ def render_compare(report: Dict) -> str:
                      + ", ".join(report["new"]))
     if report["missing"]:
         parts.append("missing vs baseline: " + ", ".join(report["missing"]))
+    resilience = report.get("resilience") or {}
+    if resilience:
+        faults = []
+        for exp_id, sides in resilience.items():
+            base_n = sum(sides["baseline"].values())
+            cur_n = sum(sides["current"].values())
+            faults.append(f"{exp_id} {base_n}->{cur_n}")
+        parts.append("fault events survived (baseline->current): "
+                     + ", ".join(faults))
     if report["regressions"]:
         parts.append(f"REGRESSIONS: {', '.join(report['regressions'])}")
     else:
@@ -513,6 +552,28 @@ def markdown_compare(report: Dict) -> str:
             f"| {exp_id} | {row['baseline_s']:.3f} | "
             f"{row['current_s']:.3f} | {row['ratio']:.2f}x | "
             f"{row['normalized_ratio']:.2f}x | {status} |")
+    resilience = report.get("resilience") or {}
+    if resilience:
+        lines += ["", "## Fault behaviour", "",
+                  "Resilience counters from runs that survived faults "
+                  "(baseline → current); informational only — the "
+                  "verdict above is timing-driven.", "",
+                  "| experiment | retries | timeouts | workers replaced | "
+                  "quarantined | corrupt cache | chaos injected |",
+                  "|---|---:|---:|---:|---:|---:|---:|"]
+        for exp_id, sides in resilience.items():
+            base_r, cur_r = sides["baseline"], sides["current"]
+
+            def _cell(key):
+                return f"{base_r[key]} → {cur_r[key]}"
+
+            replaced = (f"{base_r['hung_workers_replaced'] + base_r['workers_replaced']}"
+                        f" → "
+                        f"{cur_r['hung_workers_replaced'] + cur_r['workers_replaced']}")
+            lines.append(
+                f"| {exp_id} | {_cell('retries')} | {_cell('timeouts')} | "
+                f"{replaced} | {_cell('quarantined')} | "
+                f"{_cell('cache_corrupt')} | {_cell('chaos_injected')} |")
     if report["new"]:
         lines += ["", "New experiments (no baseline entry): "
                   + ", ".join(f"`{e}`" for e in report["new"])]

@@ -28,7 +28,19 @@ first-class measurement subsystem for the simulated machine:
   *wall-clock* time to simulator subsystems (event heap, dispatch,
   memory/coherence, scheduling, PVM, application code) and reports
   simulated-cycles/s and events/s throughput (``python -m repro
-  hostscope``; see ``docs/hostscope.md``).
+  hostscope``; see ``docs/hostscope.md``);
+* :mod:`repro.obs.registry` — the service metrics registry: stdlib
+  counters/gauges/histograms with labels, snapshot-consistent reads,
+  and Prometheus text exposition (served by ``repro serve
+  --metrics-port``; see ``docs/operations.md``);
+* :mod:`repro.obs.tracectx` — end-to-end trace context: one trace ID
+  minted in the SDK, carried over the NDJSON protocol, stamped onto
+  exec-pool unit progress, and stitched with the simulated Chrome
+  trace into a single client → server → worker → simulated-time file;
+* :mod:`repro.obs.top` — the live operations dashboard (``python -m
+  repro top``): job table, throughput sparkline, cache hit rate, and
+  worker occupancy against a running server or a replayed progress
+  JSONL.
 
 Zero-cost contract: tracing never advances simulated time, and a fully
 disabled tracer (``Tracer(counting=False)``) costs one no-op call per
@@ -68,7 +80,16 @@ from .memscope import (
 from .metrics import build_manifest, provenance_stamp, span_summary, \
     write_metrics
 from .phases import PhaseAttributor, PhaseCounters
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .timeline import render_timeline, timeline_from_tracer
+from .tracectx import (
+    TraceContext,
+    active_tracectx,
+    mint_trace_id,
+    stitch_chrome_trace,
+    use_tracectx,
+    write_chrome_json,
+)
 
 __all__ = [
     "Tracer", "TraceEvent", "active_tracer", "use_tracer",
@@ -83,4 +104,7 @@ __all__ = [
     "memscope_from_trace",
     "HostScope", "active_hostscope", "use_hostscope",
     "hostscope_from_trace",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "TraceContext", "active_tracectx", "use_tracectx", "mint_trace_id",
+    "stitch_chrome_trace", "write_chrome_json",
 ]

@@ -1,0 +1,400 @@
+"""The operations metrics registry: counters, gauges, histograms.
+
+The profilers in :mod:`repro.obs` measure one *run*; the registry
+measures a *service* — monotonically accumulating counters, point-in-
+time gauges, and latency histograms that a running ``repro.server``
+(or any long-lived process) exposes to operators.  Stdlib only, no
+third-party client library:
+
+* :class:`Counter` — monotonic ``inc()``; rates are the reader's job;
+* :class:`Gauge` — ``set()``/``inc()``/``dec()`` point-in-time values;
+* :class:`Histogram` — ``observe()`` into cumulative buckets with
+  ``_sum``/``_count``, Prometheus-shaped (``le`` upper bounds, +Inf);
+* every metric takes **labels** (``metric.labels(experiment="fig3")``)
+  and each label combination is an independent time series.
+
+Consistency contract: one :class:`MetricsRegistry` owns one lock; every
+write and every read of every metric it registered goes through that
+lock.  :meth:`MetricsRegistry.snapshot` and
+:meth:`MetricsRegistry.render_prometheus` therefore observe a single
+point in time — a histogram's bucket counts always sum to its
+``_count``, never a torn view mid-``observe`` (asserted under
+concurrent writers by ``tests/obs/test_registry.py``).
+
+Perturbation contract: the registry lives entirely in host memory and
+host time.  Nothing in :mod:`repro.sim`/:mod:`repro.machine` knows it
+exists, so instrumenting a server with it cannot change any simulated
+result or clock — the same zero-cost-when-off discipline as the
+profilers (there is simply no "on" path inside the simulator).
+
+Exposition: :meth:`MetricsRegistry.render_prometheus` emits the
+Prometheus text format (version 0.0.4) — ``# HELP``/``# TYPE`` headers
+and one ``name{labels} value`` sample per line — which is what the
+``repro serve --metrics-port`` HTTP endpoint serves at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram",
+           "DEFAULT_BUCKETS"]
+
+#: default latency buckets (seconds): sub-ms to minutes, log-ish spaced
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0, 300.0)
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str, what: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(
+            f"invalid {what} name {name!r}: Prometheus names match "
+            "[a-zA-Z_:][a-zA-Z0-9_:]* (labels may not use ':')")
+    return name
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value for the text exposition format."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class _Metric:
+    """Shared machinery: a name, fixed label names, one child per
+    label-value combination, all guarded by the registry's lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str],
+                 lock: threading.RLock):
+        self.name = _check_name(name, self.kind)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            _check_name(label, "label")
+            if ":" in label:
+                raise ValueError(f"label name {label!r} may not contain ':'")
+        self._lock = lock
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not self.labelnames:
+            # the unlabelled series exists from birth, so a scrape shows
+            # explicit zeros instead of absent metrics
+            self._children[()] = self._new_child()
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, *values, **kv):
+        """The child series for one label-value combination."""
+        if values and kv:
+            raise ValueError(
+                f"{self.name}: pass label values either positionally or "
+                "by keyword, not both")
+        if kv:
+            missing = sorted(set(self.labelnames) - kv.keys())
+            extra = sorted(kv.keys() - set(self.labelnames))
+            if missing or extra:
+                raise ValueError(
+                    f"{self.name}: expected labels "
+                    f"({', '.join(self.labelnames)}), got "
+                    f"({', '.join(sorted(kv))})")
+            values = tuple(kv[label] for label in self.labelnames)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: takes {len(self.labelnames)} label "
+                f"value(s) ({', '.join(self.labelnames)}), got "
+                f"{len(values)}")
+        key = tuple(str(v) for v in values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+            return child
+
+    # unlabelled conveniences: counter.inc() == counter.labels().inc()
+    def _only(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} is labelled by ({', '.join(self.labelnames)}); "
+                "use .labels(...) to pick a series")
+        return self._children[()]
+
+    def _series(self) -> List[Tuple[Tuple[str, ...], object]]:
+        return sorted(self._children.items())
+
+
+class _CounterChild:
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock):
+        self.value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counters only go up (inc({amount})); use a Gauge for "
+                "values that fall")
+        with self._lock:
+            self.value += amount
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (events, jobs, cache hits)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._only().value
+
+
+class _GaugeChild:
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock):
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Gauge(_Metric):
+    """A point-in-time value (queue depth, busy workers, connections)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild(self._lock)
+
+    def set(self, value: float) -> None:
+        self._only().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._only().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._only().value
+
+
+class _HistogramChild:
+    __slots__ = ("bucket_counts", "sum", "count", "_bounds", "_lock")
+
+    def __init__(self, bounds, lock):
+        self._bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
+
+
+class Histogram(_Metric):
+    """A distribution in cumulative-on-read buckets (job latency)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames, lock,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"{name}: histogram needs >= 1 bucket bound")
+        super().__init__(name, help, labelnames, lock)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets, self._lock)
+
+    def observe(self, value: float) -> None:
+        self._only().observe(value)
+
+
+class MetricsRegistry:
+    """One process's metric namespace: get-or-create + consistent reads.
+
+    ``counter()``/``gauge()``/``histogram()`` are idempotent: asking for
+    an existing name returns the existing metric (so instrumentation
+    sites need no shared globals), but asking with a different type or
+    label set raises — a name means one thing.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    # -- registration --------------------------------------------------
+
+    def _get_or_create(self, cls, name, help, labelnames, **kw) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a "
+                        f"{existing.kind}, not a {cls.kind}")
+                if existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"({', '.join(existing.labelnames)}), not "
+                        f"({', '.join(labelnames)})")
+                return existing
+            metric = cls(name, help, labelnames, self._lock, **kw)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    # -- consistent reads ----------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Every metric's current state as one point-in-time document.
+
+        Taken under the registry lock, so no metric is mid-update:
+        histogram bucket counts always sum to ``count``.  The shape is
+        JSON-ready (the ``stats`` protocol verb returns it verbatim).
+        """
+        with self._lock:
+            out: Dict[str, Dict] = {}
+            for name, metric in sorted(self._metrics.items()):
+                doc: Dict = {"type": metric.kind, "help": metric.help}
+                if metric.labelnames:
+                    doc["labels"] = list(metric.labelnames)
+                series = []
+                for key, child in metric._series():
+                    row: Dict = {}
+                    if metric.labelnames:
+                        row["labels"] = dict(zip(metric.labelnames, key))
+                    if isinstance(metric, Histogram):
+                        row["count"] = child.count
+                        row["sum"] = round(child.sum, 9)
+                        row["buckets"] = {
+                            _format_value(b): c for b, c in zip(
+                                metric.buckets, child.bucket_counts)}
+                        row["buckets"]["+Inf"] = child.bucket_counts[-1]
+                    else:
+                        row["value"] = child.value
+                    series.append(row)
+                doc["series"] = series
+                out[name] = doc
+            return out
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        with self._lock:
+            lines: List[str] = []
+            for name, metric in sorted(self._metrics.items()):
+                if metric.help:
+                    lines.append(f"# HELP {name} "
+                                 + metric.help.replace("\\", "\\\\")
+                                 .replace("\n", "\\n"))
+                lines.append(f"# TYPE {name} {metric.kind}")
+                for key, child in metric._series():
+                    label_pairs = list(zip(metric.labelnames, key))
+                    if isinstance(metric, Histogram):
+                        cumulative = 0
+                        for bound, count in zip(metric.buckets,
+                                                child.bucket_counts):
+                            cumulative += count
+                            lines.append(_sample(
+                                f"{name}_bucket",
+                                label_pairs + [("le", _format_value(bound))],
+                                cumulative))
+                        cumulative += child.bucket_counts[-1]
+                        lines.append(_sample(
+                            f"{name}_bucket",
+                            label_pairs + [("le", "+Inf")], cumulative))
+                        lines.append(_sample(f"{name}_sum", label_pairs,
+                                             child.sum))
+                        lines.append(_sample(f"{name}_count", label_pairs,
+                                             child.count))
+                    else:
+                        lines.append(_sample(name, label_pairs,
+                                             child.value))
+            return "\n".join(lines) + "\n" if lines else ""
+
+    def collect_from(self, counters: Dict[str, float], *,
+                     prefix: str = "", help_map: Optional[Dict] = None,
+                     labels: Optional[Dict[str, str]] = None) -> None:
+        """Fold a plain ``{name: delta}`` dict into counters.
+
+        The execution fabric reports per-run counter dicts
+        (:meth:`~repro.exec.ResilienceStats.to_dict` and friends);
+        this adds each nonzero delta to ``prefix + name`` — the bridge
+        from per-run reports to service-lifetime series.
+        """
+        help_map = help_map or {}
+        label_items = labels or {}
+        labelnames = tuple(label_items)
+        for key, delta in counters.items():
+            if not isinstance(delta, (int, float)) or not delta:
+                continue
+            counter = self.counter(prefix + key, help_map.get(key, ""),
+                                   labelnames)
+            series = (counter.labels(**label_items) if labelnames
+                      else counter._only())
+            series.inc(delta)
+
+
+def _sample(name: str, label_pairs: Iterable[Tuple[str, str]],
+            value: float) -> str:
+    pairs = [f'{label}="{_escape_label(v)}"' for label, v in label_pairs]
+    body = "{" + ",".join(pairs) + "}" if pairs else ""
+    return f"{name}{body} {_format_value(value)}"

@@ -1,0 +1,312 @@
+"""``python -m repro top`` — the live operations dashboard.
+
+A curses-free ASCII view of a running :mod:`repro.server`: job counts
+by status, worker occupancy, queue depth, cache hit rate, a throughput
+sparkline (units simulated per second), send-buffer coalescing, and a
+table of recent jobs with their trace IDs.  Two sources:
+
+* **live** (default) — attach to a server over the SDK and poll its
+  ``stats`` verb every ``--interval`` seconds, redrawing in place on a
+  TTY (ANSI cursor-up; plain frame-per-poll on a pipe);
+* **replay** (``--progress FILE``) — reconstruct the final frame from
+  a ``--progress`` JSONL telemetry file, no server needed (what CI
+  uses to validate a recorded run).
+
+``--once`` renders a single frame and exits 0 — scriptable the way
+``top -b -n 1`` is.  Reading stats never perturbs jobs: the server
+answers from its metrics registry snapshot, outside every simulated
+clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["top_main", "build_frame", "replay_stats", "sparkline"]
+
+#: the house ASCII intensity ramp (shared with memscope's heatmaps)
+_RAMP = " .:-=+*#@"
+
+_STATUS_ORDER = ("queued", "running", "done", "failed", "cancelled")
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """``values`` resampled to ``width`` chars of the intensity ramp."""
+    if not values:
+        return " " * width
+    values = list(values)[-width:]
+    top = max(values)
+    cells = []
+    for v in values:
+        frac = v / top if top > 0 else 0.0
+        cells.append(_RAMP[min(int(frac * (len(_RAMP) - 1) + 0.5),
+                               len(_RAMP) - 1)])
+    return "".join(cells).rjust(width)
+
+
+def _metric_total(metrics: Optional[Dict], name: str) -> float:
+    """Sum of one metric's series values in a registry snapshot."""
+    doc = (metrics or {}).get(name) or {}
+    return sum(row.get("value", 0.0) for row in doc.get("series", ()))
+
+
+def _bar(busy: int, total: int, width: int = 20) -> str:
+    total = max(total, 1)
+    filled = round(min(busy, total) / total * width)
+    return "#" * filled + "-" * (width - filled)
+
+
+def build_frame(stats: Dict, *, source: str,
+                rates: Sequence[float] = ()) -> List[str]:
+    """One dashboard frame (list of lines) from a stats document.
+
+    ``stats`` is what the server's ``stats`` verb returns (or
+    :func:`replay_stats` synthesizes); ``rates`` is the recent
+    units-per-second history for the sparkline.
+    """
+    metrics = stats.get("metrics")
+    jobs = stats.get("jobs") or {}
+    workers = stats.get("workers") or {}
+    busy = int(workers.get("busy") or 0)
+    total_workers = int(workers.get("total") or 0)
+    hits = _metric_total(metrics, "repro_cache_hits_total")
+    misses = _metric_total(metrics, "repro_cache_misses_total")
+    lookups = hits + misses
+    hit_rate = f"{hits / lookups:.0%}" if lookups else "n/a"
+    units = _metric_total(metrics, "repro_units_computed_total")
+
+    lines = [f"repro top — {source}"]
+    counts = "  ".join(f"{status}:{jobs.get(status, 0)}"
+                       for status in _STATUS_ORDER)
+    lines.append(f"jobs    {counts}   queue depth {stats.get('queue_depth', 0)}"
+                 f"   connections {stats.get('connections', 0)}")
+    lines.append(f"workers [{_bar(busy, total_workers)}] {busy}/"
+                 f"{total_workers} busy")
+    lines.append(f"cache   {int(hits)} hits / {int(misses)} misses "
+                 f"({hit_rate} hit rate)   units computed {int(units)}"
+                 f"   coalesced {stats.get('coalesced', 0)}")
+    peak = max(rates, default=0.0)
+    lines.append(f"units/s |{sparkline(rates)}| peak {peak:.1f}")
+    recent = stats.get("recent_jobs") or []
+    if recent:
+        lines.append(f"{'job':8s} {'experiment':12s} {'status':9s} "
+                     f"{'progress':>9s} {'wall s':>8s}  trace")
+        for row in recent[-10:]:
+            done, total = row.get("done"), row.get("total")
+            progress = (f"{done}/{total}"
+                        if done is not None and total is not None else "-")
+            wall = (f"{row['wall_s']:.2f}"
+                    if row.get("wall_s") is not None else "-")
+            lines.append(
+                f"{str(row.get('id', '-')):8s} "
+                f"{str(row.get('experiment', '-'))[:12]:12s} "
+                f"{str(row.get('status', '-')):9s} {progress:>9s} "
+                f"{wall:>8s}  {row.get('trace_id', '-')}")
+    if stats.get("draining"):
+        lines.append("** server is draining — no new submits accepted **")
+    return lines
+
+
+def replay_stats(records: List[Dict]) -> Dict:
+    """Synthesize a stats document from ``--progress`` JSONL records.
+
+    One ``start``/``unit``.../``done`` group per run; a record's
+    ``job_id``/``trace_id`` (stamped when the run was traced) name the
+    job, otherwise the experiment does.  Returns the same shape the
+    server's ``stats`` verb produces, plus ``rates`` (units/s binned
+    by the records' ``t_s``) for the sparkline.
+    """
+    jobs: Dict[str, Dict] = {}
+    order: List[str] = []
+    last_unit: Optional[Dict] = None
+    coalesced = 0
+    unit_times: List[float] = []
+
+    def row_for(record: Dict) -> Dict:
+        key = str(record.get("job_id")
+                  or record.get("experiment") or "run")
+        if key not in jobs:
+            jobs[key] = {"id": key, "experiment": record.get("experiment"),
+                         "status": "running",
+                         "trace_id": record.get("trace_id", "-")}
+            order.append(key)
+        row = jobs[key]
+        if record.get("experiment"):
+            row["experiment"] = record["experiment"]
+        if record.get("trace_id"):
+            row["trace_id"] = record["trace_id"]
+        return row
+
+    current: Optional[Dict] = None
+    for record in records:
+        event = record.get("event")
+        coalesced += record.get("coalesced", 0) or 0
+        if event == "start":
+            current = row_for(record)
+        elif event == "unit":
+            last_unit = record
+            if record.get("t_s") is not None:
+                unit_times.append(float(record["t_s"]))
+            row = (row_for(record) if record.get("job_id")
+                   else (current or row_for(record)))
+            row["done"] = record.get("done")
+            row["total"] = record.get("total")
+        elif event == "done":
+            row = (row_for(record) if record.get("job_id")
+                   else (current or row_for(record)))
+            row["status"] = "done"
+            row["wall_s"] = record.get("wall_s")
+
+    by_status: Dict[str, int] = {}
+    for row in jobs.values():
+        by_status[row["status"]] = by_status.get(row["status"], 0) + 1
+    cache_hits = cache_misses = computed = 0
+    for record in records:
+        if record.get("event") == "done":
+            cache_hits += record.get("cache_hits", 0) or 0
+            computed += record.get("computed", 0) or 0
+            cache_misses += record.get("computed", 0) or 0
+    last = last_unit or {}
+    # units/s binned per second of stream time
+    rates: List[float] = []
+    if unit_times:
+        span = int(max(unit_times)) + 1
+        bins = [0] * span
+        for t in unit_times:
+            bins[int(t)] += 1
+        rates = [float(b) for b in bins]
+    metrics = {
+        "repro_cache_hits_total": {"series": [{"value": float(cache_hits)}]},
+        "repro_cache_misses_total": {"series":
+                                     [{"value": float(cache_misses)}]},
+        "repro_units_computed_total": {"series": [{"value": float(computed)}]},
+    }
+    return {
+        "jobs": by_status,
+        "connections": 0,
+        "coalesced": coalesced,
+        "queue_depth": 0,
+        "workers": {"total": last.get("jobs", 0) or 0,
+                    "busy": last.get("workers_busy", 0) or 0},
+        "recent_jobs": [jobs[k] for k in order],
+        "metrics": metrics,
+        "rates": rates,
+    }
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    from ..server.protocol import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live ASCII dashboard for a running repro server "
+                    "(job table, worker occupancy, cache hit rate, "
+                    "throughput sparkline), or a replay of a "
+                    "--progress JSONL file.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server to attach to (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help="server port (default: %(default)s)")
+    parser.add_argument("--progress", metavar="FILE", default=None,
+                        help="replay a --progress JSONL telemetry file "
+                             "instead of attaching to a server")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between polls (default: "
+                             "%(default)s)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="exit after this many seconds (default: "
+                             "run until Ctrl-C)")
+    parser.add_argument("--once", action="store_true",
+                        help="render one frame and exit (scriptable, "
+                             "like 'top -b -n 1')")
+    return parser
+
+
+def _replay(path: str, out) -> int:
+    from ..sdk.client import read_events_jsonl
+
+    try:
+        records = read_events_jsonl(path)
+    except OSError as exc:
+        print(f"cannot read progress file {path}: "
+              f"{exc.strerror or exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot parse progress file {path}: {exc}; expected "
+              "the JSONL written by --progress", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"progress file {path} contains no records; re-run with "
+              "--progress to capture telemetry", file=sys.stderr)
+        return 2
+    stats = replay_stats(records)
+    frame = build_frame(stats, source=f"replay of {path}",
+                        rates=stats.get("rates", ()))
+    out.write("\n".join(frame) + "\n")
+    return 0
+
+
+def _live(args, out) -> int:
+    from ..sdk.client import Client, ServerError
+
+    try:
+        client = Client(args.host, args.port, timeout=30.0)
+    except (OSError, ServerError) as exc:
+        print(f"cannot attach to {args.host}:{args.port}: {exc}; is "
+              "'python -m repro serve' running there?", file=sys.stderr)
+        return 2
+    source = f"{args.host}:{args.port}"
+    redraw = out.isatty() and not args.once
+    deadline = (time.monotonic() + args.duration
+                if args.duration is not None else None)
+    rates: deque = deque(maxlen=60)
+    prev_units: Optional[float] = None
+    prev_t = time.monotonic()
+    drawn = 0
+    try:
+        while True:
+            stats = client.stats()
+            source_line = (f"{source} · {client.server} · up "
+                           f"{stats.get('uptime_s', 0):.0f}s")
+            now = time.monotonic()
+            units = _metric_total(stats.get("metrics"),
+                                  "repro_units_computed_total")
+            if prev_units is not None and now > prev_t:
+                rates.append(max(0.0, units - prev_units)
+                             / (now - prev_t))
+            prev_units, prev_t = units, now
+            frame = build_frame(stats, source=source_line, rates=rates)
+            if redraw and drawn:
+                out.write(f"\x1b[{drawn}F\x1b[J")
+            out.write("\n".join(frame) + "\n")
+            out.flush()
+            drawn = len(frame)
+            if args.once:
+                return 0
+            if deadline is not None and time.monotonic() >= deadline:
+                return 0
+            time.sleep(args.interval)
+            if not redraw:
+                out.write("\n")
+    except KeyboardInterrupt:
+        return 0
+    except ServerError as exc:
+        print(f"server connection lost: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+def top_main(argv: Optional[List[str]] = None) -> int:
+    args = build_top_parser().parse_args(argv)
+    if args.interval <= 0:
+        print(f"--interval must be > 0, got {args.interval:g}",
+              file=sys.stderr)
+        return 2
+    if args.progress is not None:
+        return _replay(args.progress, sys.stdout)
+    return _live(args, sys.stdout)

@@ -13,6 +13,14 @@ the one-shot CLI computes for the same request — plus the fabric's
 execution report (cache hits, per-unit timings) and any requested
 telemetry blocks.
 
+Every submit mints an end-to-end trace ID: ``job.trace_id`` matches
+the ``trace_id`` stamped on the server's progress records,
+``job.coalesced`` counts the progress records the server merged away
+for this slow consumer, ``client.stats()`` returns the live server
+stats + metrics snapshot, and ``job.write_trace(path)`` saves one
+Chrome trace spanning client → server → pool → simulated time (add
+``telemetry=("trace",)`` to the submit for the simulated spans).
+
 Quickstart::
 
     from repro.sdk import Client
@@ -35,8 +43,9 @@ from .client import (
     JobResult,
     RateLimited,
     ServerError,
+    read_events_jsonl,
 )
 
 __all__ = ["Client", "AsyncClient", "Job", "AsyncJob", "JobResult",
            "ServerError", "RateLimited", "JobFailed",
-           "JobCancelledError"]
+           "JobCancelledError", "read_events_jsonl"]

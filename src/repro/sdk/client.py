@@ -6,15 +6,26 @@ is the same on both sides of the sync/async split — messages carrying a
 ``job`` id route to that job's inbox; replies to a ``submit`` are
 matched by ``tag`` (the SDK auto-tags submits it sends untagged);
 anything else is a connection-level error and raises.
+
+Every submit mints an end-to-end trace ID
+(:func:`repro.obs.tracectx.mint_trace_id`) that the server carries
+through its queue, the exec pool's unit progress records, and the
+result; ``Job.trace_id`` exposes it, ``Job.coalesced`` counts the
+progress records a slow consumer missed, and ``Job.write_trace`` saves
+one Chrome trace covering client → server → pool → simulated time.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..obs.tracectx import TraceContext, stitch_chrome_trace, \
+    write_chrome_json
 
 from ..server.protocol import (
     DEFAULT_PORT,
@@ -71,6 +82,10 @@ class JobResult:
     blocks: Optional[Dict] = None
     manifest: Optional[Dict] = None
     tag: Optional[str] = None
+    #: the job's end-to-end trace identity (``{"trace_id", "job_id"}``)
+    trace: Optional[Dict] = None
+    #: server-side host spans (queued / run / per-unit) for stitching
+    host_spans: List[Dict] = field(default_factory=list)
 
 
 def _error_from(message: Dict) -> ServerError:
@@ -85,7 +100,8 @@ def _error_from(message: Dict) -> ServerError:
 
 def _submit_message(experiment: str, *, quick: bool, jobs: int,
                     seed: Optional[int], hypernodes: int, priority: int,
-                    telemetry: Tuple[str, ...], tag: str) -> Dict:
+                    telemetry: Tuple[str, ...], tag: str,
+                    trace: Optional[Dict] = None) -> Dict:
     message = {"kind": "submit", "experiment": experiment, "tag": tag,
                "priority": priority}
     if quick:
@@ -98,6 +114,8 @@ def _submit_message(experiment: str, *, quick: bool, jobs: int,
         message["hypernodes"] = hypernodes
     if telemetry:
         message["telemetry"] = list(telemetry)
+    if trace:
+        message["trace"] = trace
     return message
 
 
@@ -108,7 +126,9 @@ def _result_from(message: Dict) -> JobResult:
                      wall_s=message["wall_s"],
                      blocks=message.get("blocks"),
                      manifest=message.get("manifest"),
-                     tag=message.get("tag"))
+                     tag=message.get("tag"),
+                     trace=message.get("trace"),
+                     host_spans=list(message.get("host_spans") or ()))
 
 
 # ---------------------------------------------------------------------
@@ -118,10 +138,20 @@ def _result_from(message: Dict) -> JobResult:
 class Job:
     """Handle for one submitted job on a :class:`Client`."""
 
-    def __init__(self, client: "Client", job_id: str, experiment: str):
+    def __init__(self, client: "Client", job_id: str, experiment: str,
+                 ctx: Optional[TraceContext] = None):
         self.id = job_id
         self.experiment = experiment
+        #: the end-to-end trace ID this submit minted
+        self.trace_id = ctx.trace_id if ctx is not None else None
+        #: progress records the server merged/dropped for this job
+        #: because this client consumed too slowly (accumulated from
+        #: the ``coalesced`` counts riding the event stream)
+        self.coalesced = 0
         self._client = client
+        self._ctx = ctx if ctx is not None else TraceContext(
+            job_id=job_id, origin="client")
+        self._submitted_epoch = time.time()
         self._inbox: deque = deque()
         self._terminal: Optional[Dict] = None
 
@@ -172,9 +202,37 @@ class Job:
                 record = dict(message["record"])
                 if "coalesced" in message:
                     record["coalesced"] = message["coalesced"]
+                    self.coalesced += message["coalesced"]
                 return record
             self._terminal = message
+            self._ctx.add_span("await result", self._submitted_epoch,
+                               time.time(), cat="client",
+                               origin="client", outcome=message["kind"])
             return None
+
+    def write_trace(self, path: str) -> str:
+        """Write the job's stitched Chrome trace to ``path``.
+
+        One file, one ``trace_id``: the client's submit/await spans,
+        the server's queue/run/unit spans from the result message, and
+        — when the job was submitted with ``telemetry=("trace",)`` —
+        the run's simulated-time spans.  Requires a finished job
+        (:meth:`result` first).
+        """
+        message = self._terminal
+        if message is None or message["kind"] != "result":
+            raise ServerError(
+                "no_result", f"job {self.id} has no result yet; call "
+                "result() before write_trace()")
+        ctx = TraceContext(trace_id=self.trace_id or "",
+                           job_id=self.id, origin="client")
+        ctx.spans = list(self._ctx.spans)
+        ctx.extend_from_wire(message.get("host_spans"))
+        sim_doc = (message.get("blocks") or {}).get("trace")
+        doc = stitch_chrome_trace(ctx.trace_id, ctx.spans, sim_doc,
+                                  job_id=self.id)
+        write_chrome_json(doc, path)
+        return path
 
 
 def _job_failed(message: Dict) -> ServerError:
@@ -217,17 +275,23 @@ class Client:
         """
         self._tag_seq += 1
         wire_tag = tag if tag is not None else f"_sdk{self._tag_seq}"
+        ctx = TraceContext(origin="client")
         self._pending_tags[wire_tag] = None
+        t_submit = time.time()
         self._send(_submit_message(
             experiment, quick=quick, jobs=jobs, seed=seed,
             hypernodes=hypernodes, priority=priority,
-            telemetry=tuple(telemetry), tag=wire_tag))
+            telemetry=tuple(telemetry), tag=wire_tag,
+            trace=ctx.to_wire()))
         while self._pending_tags.get(wire_tag) is None:
             self._pump()
         reply = self._pending_tags.pop(wire_tag)
         if reply["kind"] == "error":
             raise _error_from(reply)
-        job = Job(self, reply["job"], reply["experiment"])
+        ctx.job_id = reply["job"]
+        ctx.add_span("submit", t_submit, time.time(), cat="client",
+                     experiment=experiment)
+        job = Job(self, reply["job"], reply["experiment"], ctx)
         self._jobs[job.id] = job
         return job
 
@@ -236,6 +300,13 @@ class Client:
         self._send({"kind": "list"})
         message = self._wait_for_kind("experiments")
         return message["experiments"]
+
+    def stats(self) -> Dict[str, object]:
+        """Live server stats: job counts by status, queue depth, worker
+        occupancy, recent jobs, and a full metrics snapshot (what
+        ``repro top`` polls)."""
+        self._send({"kind": "stats"})
+        return self._wait_for_kind("stats")["stats"]
 
     def ping(self) -> None:
         self._send({"kind": "ping"})
@@ -320,11 +391,16 @@ class AsyncJob:
     """Handle for one submitted job on an :class:`AsyncClient`."""
 
     def __init__(self, client: "AsyncClient", job_id: str,
-                 experiment: str):
+                 experiment: str, ctx: Optional[TraceContext] = None):
         import asyncio
 
         self.id = job_id
         self.experiment = experiment
+        self.trace_id = ctx.trace_id if ctx is not None else None
+        self.coalesced = 0
+        self._ctx = ctx if ctx is not None else TraceContext(
+            job_id=job_id, origin="client")
+        self._submitted_epoch = time.time()
         self._client = client
         self._inbox: "asyncio.Queue" = asyncio.Queue()
         self._terminal: Optional[Dict] = None
@@ -339,10 +415,17 @@ class AsyncJob:
                 record = dict(message["record"])
                 if "coalesced" in message:
                     record["coalesced"] = message["coalesced"]
+                    self.coalesced += message["coalesced"]
                 yield record
             else:
                 self._terminal = message
+                self._ctx.add_span("await result", self._submitted_epoch,
+                                   time.time(), cat="client",
+                                   origin="client",
+                                   outcome=message["kind"])
                 return
+
+    write_trace = Job.write_trace  # same stitching, sync file write
 
     async def result(self) -> JobResult:
         async for _ in self.events():
@@ -408,21 +491,31 @@ class AsyncClient:
 
         self._tag_seq += 1
         wire_tag = tag if tag is not None else f"_sdk{self._tag_seq}"
+        ctx = TraceContext(origin="client")
         future = asyncio.get_running_loop().create_future()
         self._pending[wire_tag] = future
+        t_submit = time.time()
         await self._send(_submit_message(
             experiment, quick=quick, jobs=jobs, seed=seed,
             hypernodes=hypernodes, priority=priority,
-            telemetry=tuple(telemetry), tag=wire_tag))
+            telemetry=tuple(telemetry), tag=wire_tag,
+            trace=ctx.to_wire()))
         reply = await future
         if reply["kind"] == "error":
             raise _error_from(reply)
-        job = AsyncJob(self, reply["job"], reply["experiment"])
+        ctx.job_id = reply["job"]
+        ctx.add_span("submit", t_submit, time.time(), cat="client",
+                     experiment=experiment)
+        job = AsyncJob(self, reply["job"], reply["experiment"], ctx)
         self._jobs[job.id] = job
         return job
 
     async def list(self) -> Dict[str, Dict]:
         return (await self._request("list", "experiments"))["experiments"]
+
+    async def stats(self) -> Dict[str, object]:
+        """Live server stats (see :meth:`Client.stats`)."""
+        return (await self._request("stats", "stats"))["stats"]
 
     async def ping(self) -> None:
         await self._request("ping", "pong")

@@ -21,6 +21,8 @@ from .protocol import (
     encode,
     validate_message,
 )
+from .log import NullLog, StructuredLog
+from .metricshttp import MetricsEndpoint
 from .server import (
     JobCancelled,
     JobSpec,
@@ -35,6 +37,7 @@ __all__ = [
     "validate_message",
     "ReproServer", "ServerThread", "JobCancelled", "JobSpec",
     "TokenBucket",
+    "StructuredLog", "NullLog", "MetricsEndpoint",
     "serve_main",
 ]
 

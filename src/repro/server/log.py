@@ -1,0 +1,86 @@
+"""Structured JSON logging for the job server (``repro serve --log``).
+
+One JSON object per line, one line per connection/job lifecycle event —
+machine-parseable where the server's stdout lines stay human.  Every
+line carries ``ts`` (ISO-8601 UTC) and ``event``; job lines carry
+``trace_id`` and ``job_id`` so a grep for either reconstructs one job's
+complete server-side story (the log is the flat-file leg of the same
+trace the Chrome export visualises).
+
+Events emitted by :class:`~repro.server.server.ReproServer`:
+
+``listening`` · ``connect`` · ``handshake_failed`` · ``disconnect`` ·
+``job_submitted`` · ``submit_rejected`` · ``job_started`` ·
+``job_done`` · ``job_failed`` · ``job_cancelled`` · ``drain`` ·
+``stopped``
+
+The default sink is stderr (``--log`` with no path, or ``--log -``),
+keeping stdout for the existing human status lines that scripts and CI
+grep for.  Writes are line-buffered and flushed per event; a broken
+sink disables further logging rather than killing the server.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = ["StructuredLog", "NullLog"]
+
+
+def _iso_utc(epoch: float) -> str:
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(epoch))
+    return f"{base}.{int((epoch % 1) * 1000):03d}Z"
+
+
+class StructuredLog:
+    """A line-per-event JSON log; ``destination`` is a path or ``-``."""
+
+    def __init__(self, destination: str = "-"):
+        self.destination = destination
+        self._lock = threading.Lock()
+        self._broken = False
+        if destination == "-":
+            self._fh = sys.stderr
+            self._owned = False
+        else:
+            self._fh = open(destination, "a", encoding="utf-8")
+            self._owned = True
+
+    def emit(self, event: str, **fields) -> None:
+        """Write one log line; never raises into the server."""
+        if self._broken:
+            return
+        record: Dict = {"ts": _iso_utc(time.time()), "event": event}
+        record.update({k: v for k, v in fields.items() if v is not None})
+        try:
+            with self._lock:
+                self._fh.write(json.dumps(record, default=str) + "\n")
+                self._fh.flush()
+        except (OSError, ValueError):
+            self._broken = True
+
+    def close(self) -> None:
+        if self._owned:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+
+
+class NullLog:
+    """The no-op sink a server uses when ``--log`` was not given."""
+
+    def emit(self, event: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def open_log(destination: Optional[str]):
+    """``--log`` argument → sink (``None`` → :class:`NullLog`)."""
+    return StructuredLog(destination) if destination else NullLog()

@@ -1,0 +1,92 @@
+"""The ``--metrics-port`` HTTP endpoint: Prometheus text exposition.
+
+A tiny stdlib HTTP server on its own daemon thread serving two routes:
+
+* ``GET /metrics`` — the job server's :class:`~repro.obs.registry.
+  MetricsRegistry` rendered in Prometheus text format 0.0.4 (what
+  ``prometheus``/``victoria-metrics`` scrape and ``curl`` shows);
+* ``GET /healthz`` — ``ok`` (200) while the server runs, ``draining``
+  (503) once a graceful drain started, so load balancers stop routing
+  to a server that will refuse submits.
+
+Deliberately separate from the NDJSON job port: scrapers are not
+protocol clients, need no handshake, and must keep answering while the
+job port drains.  Read-only by construction — the handler only calls
+``registry.render_prometheus()`` (a snapshot under the registry lock),
+so a scrape can never perturb a running job.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional, Tuple
+
+__all__ = ["MetricsEndpoint", "CONTENT_TYPE"]
+
+#: the Prometheus text exposition content type (format version 0.0.4)
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsEndpoint:
+    """Serve ``/metrics`` and ``/healthz`` for one registry.
+
+    ``port=0`` binds a free port (tests); :attr:`port` holds the bound
+    value after :meth:`start`.  ``health`` is a zero-argument callable
+    returning ``True`` while the job server is healthy (not draining).
+    """
+
+    def __init__(self, registry, host: str = "127.0.0.1", port: int = 0,
+                 health: Optional[Callable[[], bool]] = None):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.health = health or (lambda: True)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> Tuple[str, int]:
+        endpoint = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 -- http.server API
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = endpoint.registry.render_prometheus() \
+                        .encode("utf-8")
+                    self._reply(200, CONTENT_TYPE, body)
+                elif self.path.split("?", 1)[0] == "/healthz":
+                    if endpoint.health():
+                        self._reply(200, "text/plain", b"ok\n")
+                    else:
+                        self._reply(503, "text/plain", b"draining\n")
+                else:
+                    self._reply(404, "text/plain",
+                                b"try /metrics or /healthz\n")
+
+            def _reply(self, code, ctype, body):
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # scrapes are not news
+                pass
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.2},
+            name="repro-metrics", daemon=True)
+        self._thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

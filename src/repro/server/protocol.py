@@ -16,22 +16,30 @@ Client -> server:
 
 ``hello``   ``{"kind", "protocol", "client"?}`` — handshake, first line
 ``submit``  ``{"kind", "experiment", "tag"?, "quick"?, "jobs"?,
-            "seed"?, "hypernodes"?, "priority"?, "telemetry"?}``
+            "seed"?, "hypernodes"?, "priority"?, "telemetry"?,
+            "trace"?}`` — ``trace`` is ``{"trace_id": ...}``, normally
+            minted by the SDK for end-to-end trace stitching
 ``cancel``  ``{"kind", "job"}`` — queued or running job
 ``list``    ``{"kind"}`` — the servable experiment catalog
+``stats``   ``{"kind"}`` — live server stats + metrics snapshot
 ``ping``    ``{"kind"}``
 
 Server -> client:
 
 ``welcome``      ``{"kind", "protocol", "server", "experiments"}``
 ``accepted``     ``{"kind", "job", "tag"?, "experiment", "priority",
-                 "queued"}``
+                 "queued", "trace"?}`` — ``trace`` echoes the job's
+                 trace/job IDs (server-minted when the submit had none)
 ``event``        ``{"kind", "job", "record", "coalesced"?}`` — the
                  ``record`` is one shared-schema telemetry record
                  (:mod:`repro.exec.events`), exactly what ``--progress``
-                 would have written, so one consumer handles both
+                 would have written, so one consumer handles both;
+                 traced jobs stamp ``trace_id``/``job_id`` into it
 ``result``       ``{"kind", "job", "experiment", "data", "execution",
-                 "blocks"?, "manifest"?, "wall_s"}``
+                 "blocks"?, "manifest"?, "wall_s", "trace"?,
+                 "host_spans"?}`` — ``host_spans`` are the server-side
+                 queue/run/unit spans for Chrome-trace stitching
+``stats``        ``{"kind", "stats"}`` — reply to ``stats``
 ``cancelled``    ``{"kind", "job", "where"}`` — ``queue`` or ``running``
 ``error``        ``{"kind", "error", "detail", "job"?,
                  "retry_after_s"?}`` — ``detail`` is always one
@@ -72,6 +80,7 @@ CLIENT_KINDS: Dict[str, frozenset] = {
     "submit": frozenset({"experiment"}),
     "cancel": frozenset({"job"}),
     "list": frozenset(),
+    "stats": frozenset(),
     "ping": frozenset(),
 }
 
@@ -83,6 +92,7 @@ SERVER_KINDS: Dict[str, frozenset] = {
     "result": frozenset({"job", "experiment", "data", "execution",
                          "wall_s"}),
     "cancelled": frozenset({"job", "where"}),
+    "stats": frozenset({"stats"}),
     "error": frozenset({"error", "detail"}),
     "experiments": frozenset({"experiments"}),
     "pong": frozenset(),

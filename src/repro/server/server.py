@@ -31,6 +31,14 @@ Scheduling and fairness:
 * **Graceful drain** — ``shutdown(drain=True)`` stops accepting,
   finishes every queued and running job, delivers the results, sends
   ``bye`` and closes.
+* **Observability** — every lifecycle transition feeds a
+  :class:`~repro.obs.registry.MetricsRegistry` (read it via the
+  ``stats`` protocol verb, the optional ``--metrics-port`` Prometheus
+  endpoint, or ``python -m repro top``); each job carries an
+  end-to-end :class:`~repro.obs.tracectx.TraceContext` whose ID rides
+  ``accepted``/``event``/``result`` messages and every unit progress
+  record; ``--log`` writes one structured JSON line per lifecycle
+  event with ``trace_id``/``job_id`` on job lines.
 
 Thread model: the asyncio loop owns all protocol I/O; jobs execute in a
 small thread pool (the fabric's ``--jobs N`` worker *processes* hang
@@ -59,6 +67,9 @@ from ..exec import (
     has_units,
     unit_count,
 )
+from ..obs.registry import MetricsRegistry
+from ..obs.tracectx import TraceContext, use_tracectx
+from .log import NullLog
 from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -95,9 +106,12 @@ class JobSpec:
     priority: int = 0
     telemetry: Tuple[str, ...] = ()
     tag: Optional[str] = None
+    #: the submit message's ``trace`` field (``{"trace_id": ...}``),
+    #: normally minted by the SDK; None mints a server-side ID
+    trace: Optional[Dict] = None
 
 
-_TELEMETRY_KINDS = ("hostscope", "memscope", "critscope")
+_TELEMETRY_KINDS = ("hostscope", "memscope", "critscope", "trace")
 
 
 @dataclass
@@ -110,12 +124,20 @@ class Job:
     seq: int
     status: str = "queued"  # queued | running | done | failed | cancelled
     enqueued_t: float = field(default_factory=time.monotonic)
+    enqueued_epoch: float = field(default_factory=time.time)
 
     def __post_init__(self):
         import threading
 
         #: set by cancel(); polled by the execution thread's progress hook
         self.cancel_event = threading.Event()
+        #: the job's end-to-end trace context (client ID if supplied)
+        self.ctx = TraceContext.from_wire(self.spec.trace, origin="server")
+        self.ctx.job_id = self.id
+        #: last seen sweep progress ``{"done": n, "total": m}`` (stats)
+        self.progress: Optional[Dict] = None
+        #: wall seconds from acceptance to terminal status
+        self.wall_s: Optional[float] = None
 
 
 class TokenBucket:
@@ -167,6 +189,15 @@ class ClientConnection:
                 and isinstance(message.get("record"), dict)
                 and message["record"].get("event") == "unit")
 
+    def _coalesce(self) -> None:
+        """Count one merged/dropped progress record (here + registry)."""
+        self.coalesced += 1
+        # getattr: unit tests drive ClientConnection with a bare
+        # SimpleNamespace in place of a full ReproServer
+        metric = getattr(self.server, "m_coalesced", None)
+        if metric is not None:
+            metric.inc()
+
     def push(self, message: Dict, *, critical: bool = False) -> None:
         """Enqueue one outbound message under the bounded-buffer policy.
 
@@ -189,15 +220,15 @@ class ClientConnection:
                         merged["coalesced"] = (prior.get("coalesced", 0)
                                                + 1)
                         self._buffer[i] = merged
-                        self.coalesced += 1
+                        self._coalesce()
                         self._wakeup.set()
                         return
-                self.coalesced += 1  # nothing to merge into: drop
+                self._coalesce()  # nothing to merge into: drop
                 return
             for i, prior in enumerate(self._buffer):
                 if self._is_progress(prior):
                     del self._buffer[i]
-                    self.coalesced += 1
+                    self._coalesce()
                     break
         self._buffer.append(message)
         self.max_buffered = max(self.max_buffered, len(self._buffer))
@@ -249,7 +280,8 @@ class ReproServer:
                  workers: int = 2, cache_dir: Optional[str] = None,
                  no_cache: bool = False, rate_per_s: float = 10.0,
                  burst: int = 20, max_queue: int = 128,
-                 send_buffer: int = 256):
+                 send_buffer: int = 256,
+                 metrics_port: Optional[int] = None, log=None):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.host = host
@@ -261,6 +293,8 @@ class ReproServer:
         self.burst = burst
         self.max_queue = max_queue
         self.send_buffer = send_buffer
+        self.metrics_port = metrics_port
+        self.log = log if log is not None else NullLog()
         self.draining = False
         self.jobs: Dict[str, Job] = {}
         self.connections: set = set()
@@ -271,12 +305,80 @@ class ReproServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._seq = 0
         self._catalog: Optional[Dict[str, Dict]] = None
+        self._started_t = time.monotonic()
+        self._metrics_endpoint = None
+        self._register_metrics()
         import threading
 
         #: serialises telemetry-observed jobs: the ambient scope
         #: contexts are process-global, so only one observed job runs
         #: at a time (plain jobs are unaffected)
         self._telemetry_lock = threading.Lock()
+
+    def _register_metrics(self) -> None:
+        """Create the registry and pre-register every server series, so
+        a scrape of an idle server already shows the full schema."""
+        m = self.metrics = MetricsRegistry()
+        self.m_submitted = m.counter(
+            "repro_jobs_submitted_total",
+            "Jobs accepted onto the queue", ("experiment",))
+        self.m_completed = m.counter(
+            "repro_jobs_completed_total",
+            "Jobs reaching a terminal status", ("experiment", "status"))
+        self.m_rejected = m.counter(
+            "repro_requests_rejected_total",
+            "Requests refused before queueing (rate_limited, "
+            "queue_full, draining, ...)", ("reason",))
+        self.m_queue_depth = m.gauge(
+            "repro_queue_depth", "Jobs waiting in the priority queue")
+        self.m_running = m.gauge(
+            "repro_jobs_running", "Jobs currently executing")
+        self.m_connections = m.gauge(
+            "repro_connections", "Open client connections")
+        self.m_coalesced = m.counter(
+            "repro_progress_coalesced_total",
+            "Progress records merged or dropped by send-buffer "
+            "backpressure")
+        self.m_latency = m.histogram(
+            "repro_job_latency_seconds",
+            "Wall seconds from acceptance to terminal status",
+            ("experiment",))
+        # fabric counters, folded from each job's ExecutionReport
+        self.m_cache_hits = m.counter(
+            "repro_cache_hits_total", "Fabric result-cache hits")
+        self.m_cache_misses = m.counter(
+            "repro_cache_misses_total", "Fabric result-cache misses")
+        self.m_units_computed = m.counter(
+            "repro_units_computed_total", "Work units simulated")
+        self.m_unit_retries = m.counter(
+            "repro_unit_retries_total", "Unit attempts after the first")
+        self.m_unit_timeouts = m.counter(
+            "repro_unit_timeouts_total", "Unit attempts killed by timeout")
+        self.m_workers_replaced = m.counter(
+            "repro_workers_replaced_total",
+            "Pool workers replaced (crash or hang)")
+        self.m_quarantined = m.counter(
+            "repro_units_quarantined_total",
+            "Units quarantined after exhausting retries")
+        self.m_serial_fallbacks = m.counter(
+            "repro_serial_fallbacks_total",
+            "Units degraded to in-process execution")
+
+    def _fold_report(self, execution: Dict) -> None:
+        """Add one finished job's ExecutionReport onto the lifetime
+        counters (the per-run → service-lifetime bridge)."""
+        self.m_cache_hits.inc(execution.get("cache_hits", 0) or 0)
+        self.m_cache_misses.inc(execution.get("cache_misses", 0) or 0)
+        self.m_units_computed.inc(execution.get("computed", 0) or 0)
+        resilience = execution.get("resilience") or {}
+        self.m_unit_retries.inc(resilience.get("retries", 0) or 0)
+        self.m_unit_timeouts.inc(resilience.get("timeouts", 0) or 0)
+        self.m_workers_replaced.inc(
+            resilience.get("workers_replaced", 0) or 0)
+        self.m_quarantined.inc(
+            len(resilience.get("quarantined_units") or ()))
+        self.m_serial_fallbacks.inc(
+            resilience.get("serial_fallbacks", 0) or 0)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -294,8 +396,19 @@ class ReproServer:
             limit=MAX_LINE_BYTES)
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
+        self._started_t = time.monotonic()
+        if self.metrics_port is not None:
+            from .metricshttp import MetricsEndpoint
+
+            self._metrics_endpoint = MetricsEndpoint(
+                self.metrics, self.host, self.metrics_port,
+                health=lambda: not self.draining)
+            _, self.metrics_port = self._metrics_endpoint.start()
         for _ in range(self.workers):
             self.add_worker()
+        self.log.emit("listening", host=self.host, port=self.port,
+                      workers=self.workers,
+                      metrics_port=self.metrics_port)
         return self.host, self.port
 
     def add_worker(self) -> None:
@@ -309,6 +422,8 @@ class ReproServer:
     async def shutdown(self, *, drain: bool = True) -> None:
         """Stop accepting; optionally finish all accepted jobs first."""
         self.draining = True
+        self.log.emit("drain" if drain else "stop",
+                      queued=self._queue.qsize() if self._queue else 0)
         if self._server is not None:
             self._server.close()
         if drain and self._queue is not None:
@@ -329,6 +444,10 @@ class ReproServer:
             await self._server.wait_closed()
         if self._executor is not None:
             self._executor.shutdown(wait=False)
+        if self._metrics_endpoint is not None:
+            self._metrics_endpoint.stop()
+            self._metrics_endpoint = None
+        self.log.emit("stopped", jobs=self.stats()["jobs"])
 
     # -- the catalog ---------------------------------------------------
 
@@ -354,13 +473,19 @@ class ReproServer:
         try:
             ok = await self._handshake(conn)
             if not ok:
+                self.log.emit("handshake_failed", connection=conn.name)
                 await conn.close()
                 return
             conn.start_writer()
             self.connections.add(conn)
+            self.m_connections.set(len(self.connections))
+            self.log.emit("connect", connection=conn.name)
             await self._read_loop(conn)
         finally:
             self.connections.discard(conn)
+            self.m_connections.set(len(self.connections))
+            self.log.emit("disconnect", connection=conn.name,
+                          coalesced=conn.coalesced or None)
             for job in self.jobs.values():
                 if job.client is conn:
                     job.client = None  # results of orphans are dropped
@@ -427,6 +552,9 @@ class ReproServer:
                 continue
             if kind == "ping":
                 conn.push({"kind": "pong"}, critical=True)
+            elif kind == "stats":
+                conn.push({"kind": "stats", "stats": self.stats()},
+                          critical=True)
             elif kind == "list":
                 conn.push({"kind": "experiments",
                            "experiments": self.catalog()}, critical=True)
@@ -447,6 +575,9 @@ class ReproServer:
         if tag is not None:
             message["tag"] = tag
         message.update(extra)
+        self.m_rejected.labels(reason=error).inc()
+        self.log.emit("submit_rejected", connection=conn.name,
+                      reason=error, tag=tag)
         conn.push(message, critical=True)
 
     def _handle_submit(self, conn: ClientConnection, message: Dict) -> None:
@@ -493,9 +624,16 @@ class ReproServer:
                   seq=self._seq)
         self.jobs[job.id] = job
         self._queue.put_nowait((-spec.priority, job.seq, job))
+        self.m_submitted.labels(experiment=exp_id).inc()
+        self.m_queue_depth.set(self._queue.qsize())
+        self.log.emit("job_submitted", connection=conn.name,
+                      job_id=job.id, trace_id=job.ctx.trace_id,
+                      experiment=exp_id, priority=spec.priority,
+                      quick=spec.quick or None, jobs=spec.jobs)
         conn.push({"kind": "accepted", "job": job.id, "tag": tag,
                    "experiment": exp_id, "priority": spec.priority,
-                   "queued": queued + 1}, critical=True)
+                   "queued": queued + 1, "trace": job.ctx.to_wire()},
+                  critical=True)
 
     @staticmethod
     def _parse_spec(exp_id: str, message: Dict, tag) -> JobSpec:
@@ -521,10 +659,16 @@ class ReproServer:
         if seed is not None and not isinstance(seed, int):
             raise ValueError(f"'seed' must be an integer or null (got "
                              f"{seed!r})")
+        trace = message.get("trace")
+        if trace is not None and not isinstance(trace, dict):
+            raise ValueError(f"'trace' must be an object like "
+                             f"{{'trace_id': ...}} or null (got "
+                             f"{trace!r})")
         return JobSpec(experiment=exp_id,
                        quick=bool(message.get("quick", False)),
                        jobs=jobs, seed=seed, hypernodes=hypernodes,
-                       priority=priority, telemetry=telemetry, tag=tag)
+                       priority=priority, telemetry=telemetry, tag=tag,
+                       trace=trace)
 
     def _handle_cancel(self, conn: ClientConnection, message: Dict) -> None:
         job_id = message.get("job")
@@ -538,8 +682,15 @@ class ReproServer:
             return
         if job.status == "queued":
             job.status = "cancelled"
+            job.wall_s = round(time.monotonic() - job.enqueued_t, 4)
+            self.m_completed.labels(experiment=job.spec.experiment,
+                                    status="cancelled").inc()
+            self.log.emit("job_cancelled", job_id=job.id,
+                          trace_id=job.ctx.trace_id,
+                          experiment=job.spec.experiment, where="queue")
             conn.push({"kind": "cancelled", "job": job.id,
-                       "where": "queue"}, critical=True)
+                       "where": "queue", "trace": job.ctx.to_wire()},
+                      critical=True)
         elif job.status == "running":
             job.cancel_event.set()  # the progress hook aborts the sweep
         else:
@@ -553,13 +704,26 @@ class ReproServer:
     async def _worker(self) -> None:
         while True:
             _, _, job = await self._queue.get()
+            self.m_queue_depth.set(self._queue.qsize())
             try:
                 if job.status == "cancelled":
                     continue
                 job.status = "running"
+                job.ctx.add_span("queued", job.enqueued_epoch,
+                                 time.time(), cat="server.queue",
+                                 priority=job.spec.priority)
+                self.m_running.inc()
+                self.log.emit("job_started", job_id=job.id,
+                              trace_id=job.ctx.trace_id,
+                              experiment=job.spec.experiment,
+                              queue_s=round(time.monotonic()
+                                            - job.enqueued_t, 3))
                 bridge = _ProgressBridge(self, job)
-                outcome = await self._loop.run_in_executor(
-                    self._executor, self._run_job_sync, job, bridge)
+                try:
+                    outcome = await self._loop.run_in_executor(
+                        self._executor, self._run_job_sync, job, bridge)
+                finally:
+                    self.m_running.dec()
                 self._deliver(job, outcome)
             finally:
                 self._queue.task_done()
@@ -568,20 +732,35 @@ class ReproServer:
         status, payload = outcome
         job.status = {"ok": "done", "failed": "failed",
                       "cancelled": "cancelled"}[status]
+        job.wall_s = round(time.monotonic() - job.enqueued_t, 4)
+        exp_id = job.spec.experiment
+        self.m_completed.labels(experiment=exp_id,
+                                status=job.status).inc()
+        self.m_latency.labels(experiment=exp_id).observe(job.wall_s)
+        if status == "ok" and isinstance(payload.get("execution"), dict):
+            self._fold_report(payload["execution"])
+        self.log.emit({"done": "job_done", "failed": "job_failed",
+                       "cancelled": "job_cancelled"}[job.status],
+                      job_id=job.id, trace_id=job.ctx.trace_id,
+                      experiment=exp_id, wall_s=job.wall_s,
+                      error=payload[0] if status == "failed" else None)
         conn = job.client
         if conn is None or conn.closed:
             return  # submitter went away; the cache still kept the work
+        trace = job.ctx.to_wire()
         if status == "ok":
-            message = {"kind": "result", "job": job.id}
+            message = {"kind": "result", "job": job.id, "trace": trace,
+                       "host_spans": job.ctx.spans_to_wire()}
             message.update(payload)
             conn.push(message, critical=True)
         elif status == "cancelled":
             conn.push({"kind": "cancelled", "job": job.id,
-                       "where": "running"}, critical=True)
+                       "where": "running", "trace": trace},
+                      critical=True)
         else:
             error, detail = payload
             conn.push({"kind": "error", "error": error, "detail": detail,
-                       "job": job.id}, critical=True)
+                       "job": job.id, "trace": trace}, critical=True)
 
     def _make_cache(self) -> Optional[ResultCache]:
         if self.no_cache:
@@ -593,6 +772,7 @@ class ReproServer:
         """Execute one job in a worker thread; never raises."""
         spec = job.spec
         t0 = time.perf_counter()
+        t0_epoch = time.time()
         try:
             if job.cancel_event.is_set():
                 return ("cancelled", None)
@@ -612,6 +792,9 @@ class ReproServer:
         except Exception as exc:  # job failures must not kill the worker
             return ("failed", ("job_failed",
                                f"{type(exc).__name__}: {exc}"))
+        finally:
+            job.ctx.add_span("run", t0_epoch, time.time(),
+                             cat="server.job", experiment=spec.experiment)
 
     def _run_fabric_job(self, job: Job, config, bridge) -> Dict:
         from contextlib import ExitStack
@@ -621,6 +804,7 @@ class ReproServer:
         blocks: Dict[str, Dict] = {}
         observed = bool(spec.telemetry)
         with ExitStack() as stack:
+            stack.enter_context(use_tracectx(job.ctx))
             scopes = {}
             if observed:
                 stack.enter_context(self._telemetry_lock)
@@ -630,15 +814,17 @@ class ReproServer:
                 quick=spec.quick, cache=cache, seed=spec.seed,
                 observed=observed, progress=bridge)
             for name, scope in scopes.items():
-                block = self._scope_block(name, scope)
+                block = self._scope_block(name, scope, config)
                 if block is not None:
                     blocks[name] = block
         payload = {
             "data": canonical(result.data),
             "execution": report.to_dict(),
+            # the Chrome-trace block is payload-only: manifest() takes
+            # the named profiler scopes, not arbitrary documents
             "manifest": result.manifest(
                 config=config, execution=report.to_dict(),
-                **{k: v for k, v in blocks.items()}),
+                **{k: v for k, v in blocks.items() if k != "trace"}),
         }
         if blocks:
             payload["blocks"] = blocks
@@ -688,23 +874,46 @@ class ReproServer:
             cs = CritScope(config)
             stack.enter_context(use_critscope(cs))
             scopes["critscope"] = cs
+        if "trace" in telemetry:
+            from ..sim.trace import Tracer, use_tracer
+
+            tr = Tracer(enabled=True)
+            stack.enter_context(use_tracer(tr))
+            scopes["trace"] = tr
         return scopes
 
     @staticmethod
-    def _scope_block(name: str, scope) -> Optional[Dict]:
+    def _scope_block(name: str, scope, config=None) -> Optional[Dict]:
         if name == "critscope":
             if not any(run.threads for run in scope.runs):
                 return None
             return scope.to_dict()
+        if name == "trace":
+            from ..obs.export import chrome_trace
+
+            return chrome_trace(scope, config) if scope.events \
+                or scope.records else None
         return scope.to_dict()
 
     # -- stats ---------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """Live counters (tests and the drain log read these)."""
+        """Live counters (tests, the drain log, the ``stats`` protocol
+        verb, and ``repro top`` all read these)."""
         by_status: Dict[str, int] = {}
         for job in self.jobs.values():
             by_status[job.status] = by_status.get(job.status, 0) + 1
+        recent = []
+        for job in list(self.jobs.values())[-20:]:
+            row = {"id": job.id, "experiment": job.spec.experiment,
+                   "status": job.status, "priority": job.spec.priority,
+                   "trace_id": job.ctx.trace_id}
+            if job.progress:
+                row["done"] = job.progress.get("done")
+                row["total"] = job.progress.get("total")
+            if job.wall_s is not None:
+                row["wall_s"] = job.wall_s
+            recent.append(row)
         return {
             "jobs": dict(by_status),
             "connections": len(self.connections),
@@ -712,6 +921,12 @@ class ReproServer:
             "max_buffered": max(
                 (c.max_buffered for c in self.connections), default=0),
             "draining": self.draining,
+            "workers": {"total": self.workers,
+                        "busy": by_status.get("running", 0)},
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "uptime_s": round(time.monotonic() - self._started_t, 3),
+            "recent_jobs": recent,
+            "metrics": self.metrics.snapshot(),
         }
 
 
@@ -737,6 +952,9 @@ class _ProgressBridge:
         pass
 
     def _dispatch(self, payload: Dict) -> None:
+        if payload.get("event") == "unit":
+            self._job.progress = {"done": payload.get("done"),
+                                  "total": payload.get("total")}
         conn = self._job.client
         if conn is not None and not conn.closed:
             conn.push({"kind": "event", "job": self._job.id,

@@ -203,3 +203,63 @@ def test_resolution_limited_rows_surface_in_markdown():
     assert report["cached_resolution_limited"] == ["fig2"]
     md = markdown_compare(report)
     assert "timer-resolution floor" in md and "`fig2`" in md
+
+
+# -- the resilience fold --------------------------------------------------
+
+
+def _with_resilience(doc, exp_id, **counters):
+    resil = {"retries": 0, "timeouts": 0, "hung_workers_replaced": 0,
+             "workers_replaced": 0, "serial_fallbacks": 0,
+             "quarantined_units": [], "cache_corrupt": 0}
+    resil.update(counters)
+    doc["experiments"][exp_id]["resilience"] = resil
+    return doc
+
+
+def test_clean_runs_fold_no_resilience():
+    report = compare_bench(bench_doc(BASE), bench_doc(BASE))
+    assert report["resilience"] == {}
+    assert "Fault behaviour" not in markdown_compare(report)
+    assert "fault events" not in render_compare(report)
+
+
+def test_resilience_counters_fold_per_experiment():
+    base = _with_resilience(bench_doc(BASE), "fig3", retries=2,
+                            timeouts=1, quarantined_units=["u:1", "u:2"],
+                            chaos_injected={"kill": 3})
+    cur = _with_resilience(bench_doc(BASE), "fig3", retries=1,
+                           workers_replaced=1, cache_corrupt=1)
+    report = compare_bench(cur, base)
+    assert list(report["resilience"]) == ["fig3"]
+    sides = report["resilience"]["fig3"]
+    assert sides["baseline"]["retries"] == 2
+    assert sides["baseline"]["quarantined"] == 2
+    assert sides["baseline"]["chaos_injected"] == 3
+    assert sides["current"]["retries"] == 1
+    assert sides["current"]["workers_replaced"] == 1
+    assert sides["current"]["cache_corrupt"] == 1
+    assert sides["current"]["chaos_injected"] == 0
+
+
+def test_one_sided_faults_still_fold():
+    # a baseline that survived faults vs a now-clean current run (or
+    # vice versa) is exactly the story the table should tell
+    base = _with_resilience(bench_doc(BASE), "fig7", retries=5)
+    report = compare_bench(bench_doc(BASE), base)
+    assert report["resilience"]["fig7"]["baseline"]["retries"] == 5
+    assert report["resilience"]["fig7"]["current"]["retries"] == 0
+
+
+def test_fault_table_is_informational_not_failing():
+    cur = _with_resilience(bench_doc(BASE), "fig3", retries=9,
+                           timeouts=9, cache_corrupt=9)
+    report = compare_bench(cur, bench_doc(BASE))
+    assert report["regressions"] == []  # exit code stays timing-driven
+    md = markdown_compare(report)
+    assert "**PASS**" in md
+    assert "## Fault behaviour" in md
+    assert "| fig3 | 0 → 9 | 0 → 9 |" in md
+    text = render_compare(report)
+    assert "fault events survived (baseline->current): fig3 0->27" in text
+    assert "no serial-path regressions" in text

@@ -1,0 +1,71 @@
+"""Trace-context propagation through the execution fabric.
+
+Two contracts from the operations-observatory issue: an ambient
+:class:`~repro.obs.tracectx.TraceContext` stamps its IDs onto every
+progress record and collects per-unit pool spans, and instrumentation
+never perturbs results — ``.data`` is bit-identical with and without a
+context installed (the zero-cost-when-off discipline).
+"""
+
+import json
+
+from repro.core import spp1000
+from repro.core.canon import canonical_json
+from repro.exec import execute
+from repro.exec.progress import ProgressStream
+from repro.obs import TraceContext, use_tracectx
+
+CONFIG = spp1000()
+
+
+def _run_traced(tmp_path, name, ctx=None, jobs=2):
+    path = tmp_path / f"{name}.jsonl"
+    with ProgressStream(str(path)) as progress:
+        if ctx is not None:
+            with use_tracectx(ctx):
+                result, report = execute("fig3", CONFIG, jobs=jobs,
+                                         quick=True, progress=progress)
+        else:
+            result, report = execute("fig3", CONFIG, jobs=jobs,
+                                     quick=True, progress=progress)
+    records = [json.loads(line)
+               for line in path.read_text().splitlines()]
+    return result, report, records
+
+
+def test_ambient_context_stamps_every_progress_record(tmp_path):
+    ctx = TraceContext(job_id="j-42", origin="server")
+    _, report, records = _run_traced(tmp_path, "traced", ctx)
+    assert records, "expected start/unit/done records"
+    for record in records:
+        assert record["trace_id"] == ctx.trace_id, record
+        assert record["job_id"] == "j-42", record
+    units = [r for r in records if r["event"] == "unit"]
+    assert len(units) == report.units_planned
+
+
+def test_ambient_context_collects_pool_unit_spans(tmp_path):
+    ctx = TraceContext(origin="server")
+    _, report, _ = _run_traced(tmp_path, "spans", ctx)
+    unit_spans = [s for s in ctx.spans if s.cat == "exec.unit"]
+    assert len(unit_spans) == report.units_planned
+    assert all(s.origin == "pool" for s in unit_spans)
+    assert all(s.t1 >= s.t0 for s in unit_spans)
+    assert all(s.name.startswith("unit ") for s in unit_spans)
+
+
+def test_unit_spans_recorded_even_without_progress_stream():
+    ctx = TraceContext(origin="server")
+    with use_tracectx(ctx):
+        _, report = execute("fig3", CONFIG, jobs=1, quick=True)
+    assert len([s for s in ctx.spans if s.cat == "exec.unit"]) \
+        == report.units_planned
+
+
+def test_results_bit_identical_with_and_without_context(tmp_path):
+    plain, _, plain_records = _run_traced(tmp_path, "plain", None)
+    traced, _, _ = _run_traced(tmp_path, "stamped", TraceContext())
+    assert canonical_json(plain.data) == canonical_json(traced.data)
+    # and the untraced run's records carry no trace fields at all
+    assert all("trace_id" not in r and "job_id" not in r
+               for r in plain_records)

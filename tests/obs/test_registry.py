@@ -1,0 +1,194 @@
+"""The service metrics registry: counters/gauges/histograms + exposition.
+
+The load-bearing property is the consistency contract: every read and
+write goes through one registry lock, so ``snapshot()`` and
+``render_prometheus()`` observe a single point in time — asserted here
+under concurrent writer threads.
+"""
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.registry import DEFAULT_BUCKETS
+
+
+# -- basics ---------------------------------------------------------------
+
+
+def test_counter_counts_and_rejects_decrements():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_test_total", "a test counter")
+    assert c.value == 0.0  # exists from birth, explicit zero
+    c.inc()
+    c.inc(4)
+    assert c.value == 5.0
+    with pytest.raises(ValueError, match="only go up"):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_test_depth")
+    g.set(7)
+    g.dec(2)
+    g.inc()
+    assert g.value == 6.0
+
+
+def test_histogram_buckets_are_cumulative_on_render():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_test_seconds", "latency",
+                      buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    snap = reg.snapshot()["repro_test_seconds"]["series"][0]
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(56.05)
+    # snapshot buckets are per-bucket counts summing to count
+    assert sum(snap["buckets"].values()) == snap["count"]
+    text = reg.render_prometheus()
+    # rendered buckets are cumulative, ending at count on +Inf
+    assert 'repro_test_seconds_bucket{le="0.1"} 1' in text
+    assert 'repro_test_seconds_bucket{le="1"} 3' in text
+    assert 'repro_test_seconds_bucket{le="10"} 4' in text
+    assert 'repro_test_seconds_bucket{le="+Inf"} 5' in text
+    assert "repro_test_seconds_count 5" in text
+
+
+def test_get_or_create_is_idempotent_but_typed():
+    reg = MetricsRegistry()
+    a = reg.counter("repro_jobs_total", labelnames=("experiment",))
+    b = reg.counter("repro_jobs_total", labelnames=("experiment",))
+    assert a is b
+    with pytest.raises(ValueError, match="already registered as a counter"):
+        reg.gauge("repro_jobs_total")
+    with pytest.raises(ValueError, match="already registered with labels"):
+        reg.counter("repro_jobs_total", labelnames=("status",))
+
+
+def test_invalid_names_are_one_line_actionable():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="Prometheus names"):
+        reg.counter("1starts_with_digit")
+    with pytest.raises(ValueError, match="Prometheus names"):
+        reg.counter("has space")
+
+
+# -- labels ---------------------------------------------------------------
+
+
+def test_labelled_series_are_independent():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_jobs_total", labelnames=("experiment", "status"))
+    c.labels("fig3", "ok").inc()
+    c.labels("fig3", "ok").inc()
+    c.labels(experiment="fig7", status="error").inc()
+    snap = reg.snapshot()["repro_jobs_total"]
+    rows = {tuple(sorted(r["labels"].items())): r["value"]
+            for r in snap["series"]}
+    assert rows[(("experiment", "fig3"), ("status", "ok"))] == 2.0
+    assert rows[(("experiment", "fig7"), ("status", "error"))] == 1.0
+
+
+def test_label_misuse_raises():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_jobs_total", labelnames=("experiment",))
+    with pytest.raises(ValueError, match="takes 1 label"):
+        c.labels("a", "b")
+    with pytest.raises(ValueError, match="expected labels"):
+        c.labels(wrong="x")
+    with pytest.raises(ValueError, match="use .labels"):
+        c.inc()  # labelled metric has no unlabelled convenience series
+
+
+def test_label_values_are_escaped_in_exposition():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_weird_total", labelnames=("path",))
+    c.labels('C:\\dir\n"quoted"').inc()
+    text = reg.render_prometheus()
+    assert (r'repro_weird_total{path="C:\\dir\n\"quoted\""} 1'
+            in text)
+
+
+# -- exposition format ----------------------------------------------------
+
+
+def test_prometheus_text_shape():
+    reg = MetricsRegistry()
+    reg.counter("repro_a_total", "counts a").inc(3)
+    reg.gauge("repro_b", "gauges b").set(1.5)
+    reg.histogram("repro_c_seconds", buckets=(1.0,)).observe(0.5)
+    text = reg.render_prometheus()
+    assert text.endswith("\n")
+    assert "# HELP repro_a_total counts a" in text
+    assert "# TYPE repro_a_total counter" in text
+    assert "# TYPE repro_b gauge" in text
+    assert "# TYPE repro_c_seconds histogram" in text
+    assert "repro_a_total 3" in text
+    assert "repro_b 1.5" in text
+    # every non-comment line is `name{labels} value`
+    sample = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+                        r'(\{[^}]*\})? [^ ]+$')
+    for line in text.strip().splitlines():
+        if not line.startswith("#"):
+            assert sample.match(line), line
+
+
+def test_collect_from_folds_report_dicts():
+    reg = MetricsRegistry()
+    reg.collect_from({"cache_hits": 4, "cache_misses": 2, "noise": 0,
+                      "not_a_number": "x"},
+                     prefix="repro_", labels={"experiment": "fig3"})
+    reg.collect_from({"cache_hits": 1}, prefix="repro_",
+                     labels={"experiment": "fig3"})
+    snap = reg.snapshot()
+    rows = snap["repro_cache_hits"]["series"]
+    assert rows == [{"labels": {"experiment": "fig3"}, "value": 5.0}]
+    assert "repro_noise" not in snap  # zero deltas register nothing
+
+
+# -- the consistency contract ---------------------------------------------
+
+
+def test_snapshot_is_torn_free_under_concurrent_writers():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_lat_seconds", buckets=DEFAULT_BUCKETS[:6])
+    c = reg.counter("repro_ops_total")
+    stop = threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            h.observe(0.01)
+            c.inc()
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        for _ in range(200):
+            snap = reg.snapshot()
+            row = snap["repro_lat_seconds"]["series"][0]
+            # the one invariant a torn read would break
+            assert sum(row["buckets"].values()) == row["count"]
+            text = reg.render_prometheus()
+            count = int(text.split("repro_lat_seconds_count ")[1]
+                        .splitlines()[0])
+            inf = int(text.split('repro_lat_seconds_bucket{le="+Inf"} ')[1]
+                      .splitlines()[0])
+            assert inf == count  # cumulative +Inf bucket == count
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+
+
+def test_exports_from_obs_package():
+    import repro.obs as obs
+
+    assert obs.MetricsRegistry is MetricsRegistry
+    assert obs.Counter is Counter
+    assert obs.Gauge is Gauge
+    assert obs.Histogram is Histogram

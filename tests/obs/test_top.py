@@ -1,0 +1,186 @@
+"""``python -m repro top``: frame building, replay, and the live poll."""
+
+import json
+
+import pytest
+
+from repro.obs.top import (build_frame, replay_stats, sparkline,
+                           top_main)
+
+
+# -- sparkline ------------------------------------------------------------
+
+
+def test_sparkline_scales_to_the_ramp():
+    line = sparkline([0.0, 1.0, 2.0, 4.0], width=4)
+    assert len(line) == 4
+    assert line[0] == " "     # zero maps to the blank cell
+    assert line[-1] == "@"    # peak maps to the hottest cell
+    assert sparkline([], width=10) == " " * 10
+
+
+def test_sparkline_keeps_only_the_last_width_values():
+    assert sparkline([9.0] * 50 + [0.0], width=1) == " "
+
+
+# -- frames ---------------------------------------------------------------
+
+
+def _stats(**over):
+    stats = {
+        "jobs": {"done": 3, "running": 1},
+        "connections": 2,
+        "coalesced": 7,
+        "queue_depth": 4,
+        "workers": {"total": 4, "busy": 1},
+        "recent_jobs": [
+            {"id": "j000001", "experiment": "fig3", "status": "done",
+             "done": 16, "total": 16, "wall_s": 1.25,
+             "trace_id": "ab" * 8},
+        ],
+        "metrics": {
+            "repro_cache_hits_total": {"series": [{"value": 10.0}]},
+            "repro_cache_misses_total": {"series": [{"value": 30.0}]},
+            "repro_units_computed_total": {"series": [{"value": 30.0}]},
+        },
+    }
+    stats.update(over)
+    return stats
+
+
+def test_build_frame_reports_the_service_story():
+    frame = build_frame(_stats(), source="unit test",
+                        rates=[1.0, 2.0, 4.0])
+    text = "\n".join(frame)
+    assert "repro top — unit test" in text
+    assert "done:3" in text and "running:1" in text
+    assert "queue depth 4" in text
+    assert "connections 2" in text
+    assert "1/4 busy" in text
+    assert "10 hits / 30 misses (25% hit rate)" in text
+    assert "units computed 30" in text
+    assert "coalesced 7" in text
+    assert "peak 4.0" in text
+    assert "j000001" in text and "ab" * 8 in text
+    assert "draining" not in text
+
+
+def test_build_frame_handles_empty_stats_and_draining():
+    frame = build_frame({"draining": True}, source="empty")
+    text = "\n".join(frame)
+    assert "n/a hit rate" in text     # no lookups yet, no ZeroDivision
+    assert "0/0 busy" in text
+    assert "draining" in text
+
+
+# -- replay ---------------------------------------------------------------
+
+
+def _progress_records():
+    return [
+        {"t_s": 0.0, "event": "start", "experiment": "fig3",
+         "total": 4, "trace_id": "cd" * 8, "job_id": "j000009"},
+        {"t_s": 0.2, "event": "unit", "experiment": "fig3", "done": 1,
+         "total": 4, "job_id": "j000009", "jobs": 2, "workers_busy": 2},
+        {"t_s": 0.4, "event": "unit", "experiment": "fig3", "done": 2,
+         "total": 4, "job_id": "j000009", "jobs": 2, "workers_busy": 2},
+        {"t_s": 1.1, "event": "unit", "experiment": "fig3", "done": 3,
+         "total": 4, "job_id": "j000009", "jobs": 2, "workers_busy": 1},
+        {"t_s": 1.5, "event": "unit", "experiment": "fig3", "done": 4,
+         "total": 4, "job_id": "j000009", "jobs": 2, "workers_busy": 1},
+        {"t_s": 1.6, "event": "done", "experiment": "fig3",
+         "job_id": "j000009", "wall_s": 1.6, "computed": 4,
+         "cache_hits": 0},
+    ]
+
+
+def test_replay_stats_reconstructs_the_final_frame():
+    stats = replay_stats(_progress_records())
+    assert stats["jobs"] == {"done": 1}
+    row = stats["recent_jobs"][0]
+    assert row["id"] == "j000009"
+    assert row["trace_id"] == "cd" * 8
+    assert (row["done"], row["total"]) == (4, 4)
+    assert row["wall_s"] == 1.6
+    assert stats["workers"] == {"total": 2, "busy": 1}
+    # units/s binned per second of stream time: 2 in [0,1), 2 in [1,2)
+    assert stats["rates"] == [2.0, 2.0]
+    units = stats["metrics"]["repro_units_computed_total"]["series"]
+    assert units == [{"value": 4.0}]
+
+
+def test_replay_groups_untraced_records_by_experiment():
+    records = [{"event": "start", "experiment": "fig7", "total": 2},
+               {"event": "unit", "experiment": "fig7", "done": 2,
+                "total": 2},
+               {"event": "done", "experiment": "fig7", "wall_s": 0.5,
+                "computed": 2}]
+    stats = replay_stats(records)
+    assert stats["recent_jobs"][0]["id"] == "fig7"
+    assert stats["jobs"] == {"done": 1}
+
+
+# -- the CLI --------------------------------------------------------------
+
+
+def test_top_replay_renders_one_frame(tmp_path, capsys):
+    path = tmp_path / "progress.jsonl"
+    path.write_text("".join(json.dumps(r) + "\n"
+                            for r in _progress_records()))
+    assert top_main(["--progress", str(path), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert f"replay of {path}" in out
+    assert "j000009" in out and "cd" * 8 in out
+
+
+def test_top_replay_errors_are_one_line_actionable(tmp_path, capsys):
+    missing = tmp_path / "nope.jsonl"
+    assert top_main(["--progress", str(missing)]) == 2
+    assert "cannot read progress file" in capsys.readouterr().err
+
+    corrupt = tmp_path / "bad.jsonl"
+    corrupt.write_text("{not json\n")
+    assert top_main(["--progress", str(corrupt)]) == 2
+    assert "cannot parse progress file" in capsys.readouterr().err
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert top_main(["--progress", str(empty)]) == 2
+    assert "contains no records" in capsys.readouterr().err
+
+
+def test_top_rejects_nonpositive_interval(capsys):
+    assert top_main(["--interval", "0"]) == 2
+    assert "--interval must be > 0" in capsys.readouterr().err
+
+
+def test_top_refuses_dead_server(capsys):
+    # a port nothing listens on: connect fails with an actionable line
+    assert top_main(["--port", "1", "--once"]) == 2
+    assert "cannot attach to" in capsys.readouterr().err
+
+
+def test_top_live_once_against_a_server(tmp_path, capsys):
+    from repro.sdk import Client
+    from repro.server import ServerThread
+
+    srv = ServerThread(workers=1, no_cache=True).start()
+    try:
+        with Client(srv.host, srv.port) as client:
+            client.submit("fig3", quick=True).result()
+        code = top_main(["--host", srv.host, "--port", str(srv.port),
+                         "--once"])
+    finally:
+        srv.stop(drain=False)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"{srv.host}:{srv.port}" in out
+    assert "done:1" in out
+    assert "fig3" in out
+
+
+def test_top_dispatches_from_the_main_cli(capsys):
+    from repro.cli import main
+
+    assert main(["top", "--interval", "0"]) == 2
+    assert "--interval must be > 0" in capsys.readouterr().err

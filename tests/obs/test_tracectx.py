@@ -1,0 +1,161 @@
+"""Trace contexts: minting, wire round-trips, ambient install, stitching."""
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import (TraceContext, active_tracectx, mint_trace_id,
+                       stitch_chrome_trace, use_tracectx)
+from repro.obs.tracectx import _SIM_PID_BASE, MAX_SPANS, HostSpan
+
+
+def test_mint_trace_id_is_16_hex_and_unique():
+    ids = {mint_trace_id() for _ in range(64)}
+    assert len(ids) == 64
+    assert all(re.fullmatch(r"[0-9a-f]{16}", t) for t in ids)
+
+
+def test_wire_round_trip_preserves_identity():
+    ctx = TraceContext(job_id="j-000001", origin="client")
+    wire = ctx.to_wire()
+    assert wire == {"trace_id": ctx.trace_id, "job_id": "j-000001"}
+    back = TraceContext.from_wire(wire, origin="server")
+    assert back.trace_id == ctx.trace_id
+    assert back.job_id == "j-000001"
+    assert back.origin == "server"
+
+
+def test_from_wire_is_tolerant_of_garbage():
+    for wire in (None, {}, {"trace_id": ""}, "nonsense", 7):
+        ctx = TraceContext.from_wire(wire, origin="server")
+        assert re.fullmatch(r"[0-9a-f]{16}", ctx.trace_id)
+
+
+def test_stamp_annotates_records_in_place():
+    ctx = TraceContext(job_id="j-1")
+    record = ctx.stamp({"event": "unit", "done": 3})
+    assert record["trace_id"] == ctx.trace_id
+    assert record["job_id"] == "j-1"
+    assert record["event"] == "unit"
+
+
+def test_span_recording_and_cap():
+    ctx = TraceContext(origin="pool")
+    with ctx.span("work", cat="test", where="here"):
+        pass
+    assert ctx.spans[0].name == "work"
+    assert ctx.spans[0].origin == "pool"
+    assert ctx.spans[0].t1 >= ctx.spans[0].t0
+    for i in range(MAX_SPANS + 5):
+        ctx.add_span(f"s{i}", 0.0, 1.0)
+    assert len(ctx.spans) == MAX_SPANS
+    assert ctx.dropped == 6  # 1 recorded before the flood
+
+
+def test_spans_survive_wire_round_trip():
+    src = TraceContext(origin="server")
+    src.add_span("queued", 10.0, 10.5, cat="server.queue", priority=0)
+    dst = TraceContext(trace_id=src.trace_id, origin="client")
+    dst.extend_from_wire(src.spans_to_wire())
+    dst.extend_from_wire(None)       # tolerated
+    dst.extend_from_wire(["junk"])   # non-dict entries skipped
+    assert len(dst.spans) == 1
+    span = dst.spans[0]
+    assert (span.name, span.cat, span.origin) == ("queued", "server.queue",
+                                                  "server")
+    assert span.args == {"priority": 0}
+
+
+# -- ambient install ------------------------------------------------------
+
+
+def test_use_tracectx_nests_and_restores():
+    assert active_tracectx() is None
+    outer, inner = TraceContext(), TraceContext()
+    with use_tracectx(outer):
+        assert active_tracectx() is outer
+        with use_tracectx(inner):
+            assert active_tracectx() is inner
+        assert active_tracectx() is outer
+    assert active_tracectx() is None
+
+
+def test_ambient_context_is_per_thread():
+    """The server runs concurrent jobs on different threads — each must
+    see only its own context (a process-global stack would cross-stamp)."""
+    seen = {}
+    barrier = threading.Barrier(2)
+
+    def job(name):
+        ctx = TraceContext(job_id=name)
+        with use_tracectx(ctx):
+            barrier.wait()  # both threads inside their own context
+            seen[name] = active_tracectx().job_id
+    threads = [threading.Thread(target=job, args=(n,))
+               for n in ("t1", "t2")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert seen == {"t1": "t1", "t2": "t2"}
+    assert active_tracectx() is None  # main thread never saw either
+
+
+# -- stitching ------------------------------------------------------------
+
+
+def _host_spans():
+    return [HostSpan("submit", 100.0, 100.1, origin="client"),
+            HostSpan("queued", 100.1, 100.2, origin="server"),
+            HostSpan("unit f:0", 100.2, 100.4, origin="pool")]
+
+
+def test_stitch_places_host_origins_on_fixed_pids():
+    doc = stitch_chrome_trace("cafe" * 4, _host_spans(), job_id="j-1")
+    events = doc["traceEvents"]
+    names = {e["args"]["name"]: e["pid"] for e in events
+             if e.get("ph") == "M"}
+    assert names == {"host: client": 0, "host: server": 1, "host: pool": 2}
+    xs = [e for e in events if e["ph"] == "X"]
+    assert [e["pid"] for e in xs] == [0, 1, 2]
+    # ts rebased to the earliest span, in microseconds
+    assert xs[0]["ts"] == 0.0
+    assert xs[1]["ts"] == pytest.approx(100000.0)  # 0.1 s later, in µs
+    for e in xs:
+        assert e["args"]["trace_id"] == "cafe" * 4
+        assert e["args"]["job_id"] == "j-1"
+    assert doc["otherData"]["trace_id"] == "cafe" * 4
+    assert doc["otherData"]["job_id"] == "j-1"
+
+
+def test_stitch_shifts_sim_pids_and_prefixes_names():
+    sim_doc = {"traceEvents": [
+        {"name": "process_name", "ph": "M", "ts": 0.0, "pid": 0,
+         "tid": 0, "args": {"name": "hypernode 0"}},
+        {"name": "fork_join", "ph": "X", "ts": 5.0, "dur": 3.0,
+         "pid": 0, "tid": 1, "args": {}},
+    ], "otherData": {"experiment": "fig3"}}
+    doc = stitch_chrome_trace("beef" * 4, _host_spans(), sim_doc)
+    sim_events = [e for e in doc["traceEvents"]
+                  if e["pid"] >= _SIM_PID_BASE]
+    assert len(sim_events) == 2
+    meta = next(e for e in sim_events if e["ph"] == "M")
+    assert meta["args"]["name"] == "sim: hypernode 0"
+    span = next(e for e in sim_events if e["ph"] == "X")
+    assert span["ts"] == 5.0  # simulated timestamps untouched
+    assert span["args"]["trace_id"] == "beef" * 4
+    assert doc["otherData"]["sim"] == {"experiment": "fig3"}
+
+
+def test_stitched_doc_is_json_serializable(tmp_path):
+    import json
+
+    from repro.obs import write_chrome_json
+
+    path = tmp_path / "trace.json"
+    write_chrome_json(
+        stitch_chrome_trace("f00d" * 4, _host_spans()), str(path))
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["trace_id"] == "f00d" * 4
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])

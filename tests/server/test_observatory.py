@@ -1,0 +1,198 @@
+"""The operations observatory end to end: stats verb, trace
+propagation, the merged Chrome trace, the Prometheus endpoint, the
+coalesced counter on the Job handle, and structured logging."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.sdk import AsyncClient, Client
+from repro.server import ServerThread, StructuredLog
+from repro.server.metricshttp import CONTENT_TYPE
+
+
+# -- the stats verb -------------------------------------------------------
+
+
+def test_stats_verb_returns_service_state(server):
+    with Client(server.host, server.port) as client:
+        job = client.submit("_srv_fast", quick=True)
+        job.result()
+        stats = client.stats()
+    assert stats["jobs"].get("done", 0) >= 1
+    assert stats["connections"] >= 1
+    assert stats["uptime_s"] >= 0
+    assert stats["queue_depth"] == 0
+    assert stats["workers"]["total"] == 2
+    recent = stats["recent_jobs"]
+    assert recent and recent[-1]["id"] == job.id
+    assert recent[-1]["status"] == "done"
+    assert recent[-1]["trace_id"] == job.trace_id
+    assert recent[-1]["wall_s"] is not None
+    metrics = stats["metrics"]
+    submitted = metrics["repro_jobs_submitted_total"]["series"]
+    assert any(row["labels"] == {"experiment": "_srv_fast"}
+               and row["value"] >= 1 for row in submitted)
+    latency = metrics["repro_job_latency_seconds"]["series"]
+    assert any(row["count"] >= 1 for row in latency)
+
+
+def test_stats_verb_on_async_client(server):
+    import asyncio
+
+    async def scenario():
+        client = await AsyncClient.connect(server.host, server.port)
+        try:
+            job = await client.submit("_srv_fast", quick=True)
+            await job.result()
+            return await client.stats(), job.trace_id
+        finally:
+            await client.close()
+
+    stats, trace_id = asyncio.run(scenario())
+    assert stats["jobs"].get("done", 0) >= 1
+    assert any(row["trace_id"] == trace_id
+               for row in stats["recent_jobs"])
+
+
+# -- trace propagation ----------------------------------------------------
+
+
+def test_client_minted_trace_id_reaches_every_leg(server):
+    with Client(server.host, server.port) as client:
+        job = client.submit("_srv_fast", quick=True)
+        assert job.trace_id  # minted at submit, before any event
+        records = list(job.events())
+        result = job.result()
+    # every streamed progress record carries the submit's trace ID
+    units = [r for r in records if r.get("event") == "unit"]
+    assert units
+    for record in units:
+        assert record["trace_id"] == job.trace_id
+        assert record["job_id"] == job.id
+    # the result message carries identity + the server's host spans
+    assert result.trace == {"trace_id": job.trace_id, "job_id": job.id}
+    origins = {s["origin"] for s in result.host_spans}
+    assert {"server", "pool"} <= origins
+    names = [s["name"] for s in result.host_spans]
+    assert "queued" in names and "run" in names
+
+
+def test_write_trace_merges_client_server_pool_and_sim(server, tmp_path):
+    with Client(server.host, server.port) as client:
+        job = client.submit("fig3", quick=True, telemetry=("trace",))
+        job.result()
+        path = job.write_trace(str(tmp_path / "trace.json"))
+    doc = json.loads((tmp_path / "trace.json").read_text())
+    assert path == str(tmp_path / "trace.json")
+    events = doc["traceEvents"]
+    spans = [e for e in events if e.get("ph") != "M"]
+    host_pids = {e["pid"] for e in spans if e["pid"] < 10}
+    assert host_pids == {0, 1, 2}  # client, server, pool all present
+    # simulated spans (B/E pairs from the sim tracer) rode along
+    assert any(e["pid"] >= 10 for e in spans)
+    # one trace ID on every single span, host and simulated alike
+    assert all(e["args"].get("trace_id") == job.trace_id for e in spans)
+    assert doc["otherData"]["trace_id"] == job.trace_id
+    process_names = {e["args"]["name"] for e in events
+                     if e.get("ph") == "M" and e["name"] == "process_name"}
+    assert {"host: client", "host: server", "host: pool"} <= process_names
+    assert any(name.startswith("sim: ") for name in process_names)
+
+
+def test_write_trace_before_result_is_actionable(server, tmp_path):
+    from repro.sdk import ServerError
+
+    with Client(server.host, server.port) as client:
+        job = client.submit("_srv_fast", quick=True)
+        with pytest.raises(ServerError, match="no result yet"):
+            job.write_trace(str(tmp_path / "early.json"))
+        job.result()
+
+
+# -- the Prometheus endpoint ----------------------------------------------
+
+
+@pytest.fixture
+def metrics_server(tmp_path):
+    srv = ServerThread(workers=2, cache_dir=str(tmp_path / "cache"),
+                       metrics_port=0).start()
+    yield srv
+    srv.stop(drain=False)
+
+
+def _scrape(srv, path="/metrics"):
+    port = srv.server.metrics_port
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode("utf-8")
+
+
+def test_metrics_endpoint_serves_prometheus_text(metrics_server):
+    with Client(metrics_server.host, metrics_server.port) as client:
+        client.submit("_srv_fast", quick=True).result()
+    status, ctype, body = _scrape(metrics_server)
+    assert status == 200
+    assert ctype == CONTENT_TYPE
+    assert "# TYPE repro_jobs_submitted_total counter" in body
+    assert 'repro_jobs_submitted_total{experiment="_srv_fast"} 1' in body
+    assert 'repro_jobs_completed_total{experiment="_srv_fast",' \
+           'status="done"} 1' in body
+    # fabric counters folded from the execution report
+    assert "repro_units_computed_total 6" in body
+    assert "repro_cache_misses_total 6" in body
+    # histogram with cumulative buckets present
+    assert 'repro_job_latency_seconds_bucket{experiment="_srv_fast",' \
+           'le="+Inf"} 1' in body
+    assert "repro_job_latency_seconds_count" in body
+
+
+def test_metrics_endpoint_healthz_and_404(metrics_server):
+    status, _, body = _scrape(metrics_server, "/healthz")
+    assert (status, body.strip()) == (200, "ok")
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        _scrape(metrics_server, "/nope")
+    assert exc_info.value.code == 404
+
+
+# -- coalescing on the Job handle -----------------------------------------
+
+
+def test_job_coalesced_counter_surfaces(server):
+    with Client(server.host, server.port) as client:
+        job = client.submit("_srv_fast", quick=True)
+        job.result()
+    assert isinstance(job.coalesced, int)
+    assert job.coalesced >= 0
+
+
+# -- structured logging ---------------------------------------------------
+
+
+def test_structured_log_lines_carry_trace_and_job_ids(tmp_path):
+    log_path = tmp_path / "server.log"
+    log = StructuredLog(str(log_path))
+    srv = ServerThread(workers=1, no_cache=True, log=log).start()
+    try:
+        with Client(srv.host, srv.port) as client:
+            job = client.submit("_srv_fast", quick=True)
+            job.result()
+    finally:
+        srv.stop(drain=False)
+        log.close()
+    lines = [json.loads(line)
+             for line in log_path.read_text().splitlines()]
+    events = [line["event"] for line in lines]
+    for expected in ("listening", "connect", "job_submitted",
+                     "job_started", "job_done", "stopped"):
+        assert expected in events, events
+    for line in lines:
+        assert "ts" in line
+        if line["event"] in ("job_submitted", "job_started", "job_done"):
+            assert line["job_id"] == job.id
+            assert line["trace_id"] == job.trace_id
+    done = next(line for line in lines if line["event"] == "job_done")
+    assert done["experiment"] == "_srv_fast"
+    assert done["wall_s"] >= 0
