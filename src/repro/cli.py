@@ -28,6 +28,9 @@ Examples::
     python -m repro fig3 --jobs 4 --journal j.jsonl --resume  # pick up
     python -m repro fig3 --jobs 4 --unit-timeout 60 --retries 3
     python -m repro fig3 --jobs 4 --chaos examples/chaos/kill_and_corrupt.json
+    python -m repro bench --quick --ledger     # append to the perf ledger
+    python -m repro ledger trend               # sparkline trajectory
+    python -m repro ledger gate --window 5     # windowed regression gate
 """
 
 from __future__ import annotations
@@ -148,6 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'bench --compare': also write a markdown regression "
              "report to PATH")
     parser.add_argument(
+        "--ledger", nargs="?", const="benchmarks/LEDGER.jsonl",
+        default=None, metavar="PATH",
+        help="append one checksummed record (timings, throughput, "
+             "fidelity residuals, git provenance) to the longitudinal "
+             "performance ledger at PATH (bare --ledger uses "
+             "benchmarks/LEDGER.jsonl); works with 'bench' and with "
+             "--metrics runs; inspect with 'python -m repro ledger'")
+    parser.add_argument(
         "--memscope", action="store_true",
         help="attach the memory-system profiler to the run: print the "
              "miss-class/occupancy profile and fold a 'memscope' block "
@@ -217,6 +228,8 @@ def _unknown_experiment(exp_id: str) -> int:
     print("  serve      run the simulation job server (repro.sdk "
           "clients)", file=sys.stderr)
     print("  top        live dashboard for a running job server",
+          file=sys.stderr)
+    print("  ledger     longitudinal performance-and-fidelity ledger",
           file=sys.stderr)
     return 2
 
@@ -500,6 +513,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.top import top_main
 
         return top_main(argv[1:])
+    if argv and argv[0] == "ledger":
+        # the performance ledger has its own parser
+        # (``repro ledger --help``)
+        from .obs.ledger import ledger_main
+
+        return ledger_main(argv[1:])
     memscope_cmd = False
     if argv and argv[0] == "memscope":
         memscope_cmd = True
@@ -544,8 +563,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _hostscope(args, config)
     if args.experiment is None:
         print("an experiment id (or 'list', 'all', 'bench', 'timeline', "
-              "'memscope', 'critscope', 'hostscope', 'serve', 'top') is "
-              "required; try 'python -m repro list'", file=sys.stderr)
+              "'memscope', 'critscope', 'hostscope', 'serve', 'top', "
+              "'ledger') is required; try 'python -m repro list'",
+              file=sys.stderr)
         return 2
     if args.experiment == "list":
         from .exec import unit_count
@@ -605,6 +625,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     multi = len(targets) > 1
     observing = bool(args.trace or args.metrics or args.profile
                      or args.memscope or args.critscope or args.hostscope)
+    if args.ledger and not args.metrics:
+        print("note: for experiment runs --ledger folds the --metrics "
+              "manifest; add --metrics PATH (or use 'bench --ledger')",
+              file=sys.stderr)
     what_if = _parse_what_if(args.what_if)
     if what_if is None:
         return 2
@@ -787,15 +811,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if cs is not None and any(r.threads for r in cs.runs):
                     cs_block = cs.to_dict(top=args.top,
                                           what_if=what_if or None)
-                write_metrics(
-                    result.manifest(
-                        config=config, tracer=tracer,
-                        execution=report.to_dict() if report else None,
-                        memscope=ms, critscope=cs_block,
-                        hostscope=(hs.to_dict(top=args.top)
-                                   if hs is not None else None)),
-                    path)
+                manifest = result.manifest(
+                    config=config, tracer=tracer,
+                    execution=report.to_dict() if report else None,
+                    memscope=ms, critscope=cs_block,
+                    hostscope=(hs.to_dict(top=args.top)
+                               if hs is not None else None))
+                write_metrics(manifest, path)
                 print(f"metrics manifest written to {path}")
+                if args.ledger:
+                    _ledger_append(args.ledger, manifest,
+                                   source="metrics")
         else:
             try:
                 with faults_ctx:
@@ -859,6 +885,38 @@ def _build_cache(args):
                        code_fingerprint())
 
 
+def _ledger_append(path: str, doc, *, source=None) -> None:
+    """Best-effort fold of ``doc`` into the ledger at ``path`` — an
+    append failure warns but never fails the run that produced the
+    measurements (the ledger observes, it does not gate here)."""
+    from .obs.ledger import Ledger, LedgerError, fold_document
+
+    try:
+        record = Ledger(path).append(fold_document(doc, source=source))
+        print(f"ledger record appended to {path} "
+              f"(sha256 {record['sha256'][:12]}…)")
+    except (LedgerError, OSError) as exc:
+        print(f"ledger: could not append to {path}: {exc}",
+              file=sys.stderr)
+
+
+def _warn_stale_artifact(path: str) -> None:
+    """One stderr line when an existing bench artifact at ``path`` was
+    produced by a different tree (satellite of the ledger issue)."""
+    import json as _json
+
+    from .exec.bench import stale_artifact_warning
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            artifact = _json.load(fh)
+    except (OSError, ValueError):
+        return
+    warning = stale_artifact_warning(artifact, path)
+    if warning:
+        print(warning, file=sys.stderr)
+
+
 def _bench(args, config) -> int:
     """``python -m repro bench``: the serial/parallel/cached trajectory."""
     from .exec import ProgressStream
@@ -870,6 +928,8 @@ def _bench(args, config) -> int:
     ok, chaos_plan = _load_chaos(args)
     if not ok:
         return 2
+    if os.path.exists(args.bench_out):
+        _warn_stale_artifact(args.bench_out)
     progress = ProgressStream(args.progress) if args.progress else None
     try:
         doc = run_bench(config, jobs=jobs, quick=args.quick,
@@ -884,6 +944,8 @@ def _bench(args, config) -> int:
     print(render_bench(doc))
     write_bench(doc, args.bench_out)
     print(f"\nbenchmark written to {args.bench_out}")
+    if args.ledger:
+        _ledger_append(args.ledger, doc, source="bench")
     if not args.compare:
         return 0
     return _bench_compare(doc, args)
@@ -908,6 +970,11 @@ def _bench_compare(doc, args) -> int:
               "expected a BENCH_exec.json written by 'python -m repro "
               "bench'", file=sys.stderr)
         return 2
+    from .exec.bench import stale_artifact_warning
+
+    warning = stale_artifact_warning(baseline, args.compare)
+    if warning:
+        print(warning, file=sys.stderr)
     report = compare_bench(doc, baseline)
     print()
     print(render_compare(report))

@@ -47,7 +47,12 @@ timer-resolution floor on ``cached_speedup``.  A row additionally
 carries a ``resilience`` block (retries, quarantined units, corrupt
 cache entries, hung-worker replacements, chaos injections) **only**
 when the run actually survived something — clean runs keep the exact
-v2 shape, no schema bump.
+v2 shape, no schema bump.  Following the same additive convention the
+document now also carries ``git_dirty`` (uncommitted changes next to
+``git_sha``) and a top-level ``fidelity`` block — per-figure residuals
+of the reproduced Fig 2-8 curves against golden expectations (see
+:mod:`repro.obs.fidelity`), computed from the serial pass's data after
+all timed passes so they can never perturb a measurement.
 """
 
 from __future__ import annotations
@@ -62,14 +67,15 @@ from typing import Dict, List, Optional
 
 from ..core.canon import canonical_json
 from ..core.tables import Table
+from ..obs.fidelity import fidelity_residuals
 from ..obs.hostscope import HostScope, use_hostscope
 from . import ResultCache, execute, unit_experiments
 from .events import make_event
-from .fingerprint import code_fingerprint, git_sha
+from .fingerprint import code_fingerprint, git_dirty, git_sha
 
 __all__ = ["BENCH_SCHEMA", "host_info", "run_bench", "write_bench",
            "render_bench", "compare_bench", "render_compare",
-           "markdown_compare"]
+           "markdown_compare", "stale_artifact_warning"]
 
 BENCH_SCHEMA = 2
 
@@ -217,6 +223,7 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
     else:
         targets = benchable
     experiments: Dict[str, Dict] = {}
+    fidelity: Dict[str, Dict] = {}
     totals = {"serial_s": 0.0, "parallel_s": 0.0, "cached_s": 0.0}
     for exp_id in targets:
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
@@ -251,6 +258,12 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
             identical = (
                 canonical_json(serial.data) == canonical_json(parallel.data)
                 == canonical_json(cached.data))
+            # Fidelity residuals read the already-produced serial data
+            # *after* all timed passes — they can neither perturb the
+            # simulated results nor the timings they ride along with.
+            residuals = fidelity_residuals(exp_id, serial.data)
+            if residuals is not None:
+                fidelity[exp_id] = residuals
             sim_mcycles = scope.sim_cycles / 1e6
             cached_floor = max(cached_s, _RESOLUTION_FLOOR_S)
             breakdown = dict(prep.host_timing)
@@ -294,9 +307,11 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
         "host": host_info(),
         "code_fingerprint": code_fingerprint()[:16],
         "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
         "created_utc": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
         "experiments": experiments,
+        "fidelity": fidelity,
         "totals": {
             "serial_s": round(totals["serial_s"], 4),
             "parallel_s": round(totals["parallel_s"], 4),
@@ -310,6 +325,28 @@ def run_bench(config, *, jobs: int = 2, quick: bool = False,
         },
     }
     return doc
+
+
+def stale_artifact_warning(baseline: Dict,
+                           path: str) -> Optional[str]:
+    """One actionable line when a committed bench artifact no longer
+    matches the current tree, or ``None`` when it is fresh.
+
+    Compares the artifact's ``code_fingerprint`` (the same hash the
+    result cache keys on) against the live tree's — a stale baseline
+    makes every ``--compare`` verdict about two different programs.
+    """
+    recorded = baseline.get("code_fingerprint")
+    if not recorded:
+        return None
+    current = code_fingerprint()[:16]
+    if recorded == current[:len(recorded)]:
+        return None
+    sha = baseline.get("git_sha") or "unknown"
+    return (f"bench: baseline {path} is stale (its code_fingerprint "
+            f"{recorded} / git {str(sha)[:12]} no longer matches the "
+            f"current tree {current}); regenerate with 'python -m repro "
+            f"bench --quick --jobs 2 --bench-out {path}'")
 
 
 def write_bench(doc: Dict, path: str) -> None:

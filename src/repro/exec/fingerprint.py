@@ -19,10 +19,12 @@ import hashlib
 import os
 from typing import Dict, Optional
 
-__all__ = ["code_fingerprint", "git_sha", "clear_fingerprint_cache"]
+__all__ = ["code_fingerprint", "git_sha", "git_dirty",
+           "clear_fingerprint_cache"]
 
 _CACHE: Dict[str, str] = {}
 _GIT_SHA: Dict[str, Optional[str]] = {}
+_GIT_DIRTY: Dict[str, Optional[bool]] = {}
 
 
 def _package_root() -> str:
@@ -78,7 +80,35 @@ def git_sha(root: Optional[str] = None) -> Optional[str]:
     return sha
 
 
+def git_dirty(root: Optional[str] = None) -> Optional[bool]:
+    """Whether the checkout containing ``root`` has uncommitted changes
+    (memoised).
+
+    ``True``/``False`` from ``git status --porcelain``; ``None`` when
+    the tree is not a git checkout or ``git`` is unavailable.  Stamped
+    next to :func:`git_sha` so noisy dev-tree measurements are
+    distinguishable from clean CI runs carrying the same commit.
+    """
+    root = os.path.abspath(root or _package_root())
+    if root in _GIT_DIRTY:
+        return _GIT_DIRTY[root]
+    dirty: Optional[bool] = None
+    try:
+        import subprocess
+
+        out = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=root, timeout=5,
+            capture_output=True, text=True)
+        if out.returncode == 0:
+            dirty = bool(out.stdout.strip())
+    except (OSError, subprocess.TimeoutExpired):
+        dirty = None
+    _GIT_DIRTY[root] = dirty
+    return dirty
+
+
 def clear_fingerprint_cache() -> None:
     """Forget memoised fingerprints (tests that rewrite sources)."""
     _CACHE.clear()
     _GIT_SHA.clear()
+    _GIT_DIRTY.clear()

@@ -40,7 +40,13 @@ first-class measurement subsystem for the simulated machine:
 * :mod:`repro.obs.top` — the live operations dashboard (``python -m
   repro top``): job table, throughput sparkline, cache hit rate, and
   worker occupancy against a running server or a replayed progress
-  JSONL.
+  JSONL;
+* :mod:`repro.obs.ledger` — the longitudinal performance-and-fidelity
+  ledger (``python -m repro ledger``): append-only checksummed JSONL
+  records of bench timings/throughput/provenance plus the Fig 2-8
+  fidelity residuals of :mod:`repro.obs.fidelity`, with trend
+  sparklines and a windowed median/MAD regression gate (see
+  ``docs/ledger.md``).
 
 Zero-cost contract: tracing never advances simulated time, and a fully
 disabled tracer (``Tracer(counting=False)``) costs one no-op call per
@@ -64,11 +70,22 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .fidelity import FIDELITY_EXPERIMENTS, fidelity_residuals
 from .hostscope import (
     HostScope,
     active_hostscope,
     hostscope_from_trace,
     use_hostscope,
+)
+from .ledger import (
+    DEFAULT_LEDGER_PATH,
+    Ledger,
+    LedgerError,
+    fold_document,
+    record_checksum,
+    record_from_bench,
+    record_from_manifest,
+    record_from_server_stats,
 )
 from .memscope import (
     MemScope,
@@ -104,6 +121,10 @@ __all__ = [
     "memscope_from_trace",
     "HostScope", "active_hostscope", "use_hostscope",
     "hostscope_from_trace",
+    "FIDELITY_EXPERIMENTS", "fidelity_residuals",
+    "Ledger", "LedgerError", "DEFAULT_LEDGER_PATH", "record_checksum",
+    "record_from_bench", "record_from_manifest",
+    "record_from_server_stats", "fold_document",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "TraceContext", "active_tracectx", "use_tracectx", "mint_trace_id",
     "stitch_chrome_trace", "write_chrome_json",

@@ -30,18 +30,21 @@ def provenance_stamp() -> Dict:
     """Host-side provenance tying a manifest to a commit and a source tree.
 
     Wall-clock creation time (ISO 8601, UTC), the git HEAD of the tree
-    containing the package (None when not in a git checkout), and the
-    package code fingerprint — the same hash the result cache keys on —
-    so observatory diffs can say *which code* produced *which numbers*.
+    containing the package (None when not in a git checkout), whether
+    that checkout was dirty (uncommitted changes — a noisy dev-tree
+    run, not a clean CI one), and the package code fingerprint — the
+    same hash the result cache keys on — so observatory diffs can say
+    *which code* produced *which numbers*.
     """
     from datetime import datetime, timezone
 
-    from ..exec.fingerprint import code_fingerprint, git_sha
+    from ..exec.fingerprint import code_fingerprint, git_dirty, git_sha
 
     return {
         "created_utc": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
         "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
         "code_fingerprint": code_fingerprint()[:16],
     }
 

@@ -60,6 +60,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="serve Prometheus metrics over HTTP on "
                              "this port (/metrics + /healthz; 0 picks "
                              "a free one; default: off)")
+    parser.add_argument("--ledger", nargs="?",
+                        const="benchmarks/LEDGER.jsonl", default=None,
+                        metavar="PATH",
+                        help="attach the longitudinal performance "
+                             "ledger: expose its record counts on "
+                             "/metrics and append one server-lifetime "
+                             "record (per-experiment job-latency "
+                             "series, fabric counters) at drain (bare "
+                             "--ledger uses benchmarks/LEDGER.jsonl; "
+                             "default: off)")
     parser.add_argument("--log", nargs="?", const="-", default=None,
                         metavar="FILE",
                         help="structured JSON log: one line per "
@@ -115,7 +125,8 @@ async def _serve(args, log) -> None:
         cache_dir=args.cache_dir, no_cache=args.no_cache,
         rate_per_s=args.rate, burst=args.burst,
         max_queue=args.max_queue, send_buffer=args.send_buffer,
-        metrics_port=args.metrics_port, log=log)
+        metrics_port=args.metrics_port, ledger_path=args.ledger,
+        log=log)
     host, port = await server.start()
     cache_note = "no cache" if args.no_cache else \
         (args.cache_dir or "shared cache")

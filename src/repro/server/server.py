@@ -281,7 +281,8 @@ class ReproServer:
                  no_cache: bool = False, rate_per_s: float = 10.0,
                  burst: int = 20, max_queue: int = 128,
                  send_buffer: int = 256,
-                 metrics_port: Optional[int] = None, log=None):
+                 metrics_port: Optional[int] = None,
+                 ledger_path: Optional[str] = None, log=None):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.host = host
@@ -294,6 +295,8 @@ class ReproServer:
         self.max_queue = max_queue
         self.send_buffer = send_buffer
         self.metrics_port = metrics_port
+        self.ledger_path = ledger_path
+        self._ledger_counts = {"records": 0, "skipped": 0}
         self.log = log if log is not None else NullLog()
         self.draining = False
         self.jobs: Dict[str, Job] = {}
@@ -363,6 +366,14 @@ class ReproServer:
         self.m_serial_fallbacks = m.counter(
             "repro_serial_fallbacks_total",
             "Units degraded to in-process execution")
+        # longitudinal ledger visibility (only moves with --ledger):
+        # record count and skipped-line count of the attached ledger
+        self.m_ledger_records = m.gauge(
+            "repro_ledger_records",
+            "Intact records in the attached performance ledger")
+        self.m_ledger_skipped = m.gauge(
+            "repro_ledger_skipped_lines",
+            "Corrupt/torn lines skipped reading the attached ledger")
 
     def _fold_report(self, execution: Dict) -> None:
         """Add one finished job's ExecutionReport onto the lifetime
@@ -404,12 +415,42 @@ class ReproServer:
                 self.metrics, self.host, self.metrics_port,
                 health=lambda: not self.draining)
             _, self.metrics_port = self._metrics_endpoint.start()
+        if self.ledger_path:
+            self._refresh_ledger_gauges()
         for _ in range(self.workers):
             self.add_worker()
         self.log.emit("listening", host=self.host, port=self.port,
                       workers=self.workers,
                       metrics_port=self.metrics_port)
         return self.host, self.port
+
+    def _refresh_ledger_gauges(self) -> None:
+        """Re-read the attached ledger; expose its record and skipped
+        counts on ``/metrics`` (and the ``stats`` ledger block)."""
+        from ..obs.ledger import Ledger
+
+        records, skipped = Ledger(self.ledger_path).read()
+        self._ledger_counts = {"records": len(records),
+                               "skipped": skipped}
+        self.m_ledger_records.set(len(records))
+        self.m_ledger_skipped.set(skipped)
+
+    def _append_ledger_record(self) -> None:
+        """Fold this server lifetime (job-latency series per experiment,
+        fabric counters) into one ledger record — called at drain, so a
+        served session leaves the same longitudinal trace a bench run
+        does.  Best-effort: a ledger failure never blocks shutdown."""
+        from ..obs.ledger import Ledger, record_from_server_stats
+
+        try:
+            record = record_from_server_stats(self.stats())
+            Ledger(self.ledger_path).append(record)
+            self._refresh_ledger_gauges()
+            self.log.emit("ledger_record", path=self.ledger_path,
+                          sha256=record["sha256"][:12])
+        except Exception as exc:  # noqa: BLE001 - shutdown must proceed
+            self.log.emit("ledger_error", path=self.ledger_path,
+                          error=str(exc))
 
     def add_worker(self) -> None:
         """Start one more job-worker task (tests use this to sequence)."""
@@ -447,6 +488,8 @@ class ReproServer:
         if self._metrics_endpoint is not None:
             self._metrics_endpoint.stop()
             self._metrics_endpoint = None
+        if self.ledger_path:
+            self._append_ledger_record()
         self.log.emit("stopped", jobs=self.stats()["jobs"])
 
     # -- the catalog ---------------------------------------------------
@@ -927,6 +970,9 @@ class ReproServer:
             "uptime_s": round(time.monotonic() - self._started_t, 3),
             "recent_jobs": recent,
             "metrics": self.metrics.snapshot(),
+            "ledger": ({"path": self.ledger_path,
+                        **self._ledger_counts}
+                       if self.ledger_path else None),
         }
 
 

@@ -7,6 +7,7 @@ from repro.exec.bench import (
     BENCH_SCHEMA,
     render_bench,
     run_bench,
+    stale_artifact_warning,
     write_bench,
 )
 
@@ -63,3 +64,41 @@ def test_committed_bench_artifact_matches_current_schema():
         "python -m repro bench --quick --jobs 2 --bench-out "
         "BENCH_exec.json")
     assert doc["generator"] == "repro.exec.bench"
+
+
+def test_bench_stamps_git_dirty_and_fidelity():
+    doc = run_bench(spp1000(), jobs=2, quick=True,
+                    experiment_ids=["fig2", "table1"])
+    # dirty flag sits next to git_sha; None only when git is unavailable
+    assert "git_dirty" in doc
+    assert doc["git_dirty"] in (True, False, None)
+    # fig2 is golden-anchored, table1 is not; the block only carries
+    # experiments with computable anchors
+    assert "fidelity" in doc
+    assert "table1" not in doc["fidelity"]
+    fig2 = doc["fidelity"]["fig2"]
+    assert fig2["within_tolerance"] is True
+    assert "local_pair_slope_us" in fig2["metrics"]
+
+
+def test_stale_artifact_warning_none_when_fingerprint_matches():
+    from repro.exec.fingerprint import code_fingerprint
+
+    current = code_fingerprint()[:16]  # bench docs store 16 hex chars
+    baseline = {"code_fingerprint": current, "git_sha": "a" * 40}
+    assert stale_artifact_warning(baseline, "BENCH_exec.json") is None
+    # short (prefix) recordings from older writers still count as fresh
+    short = {"code_fingerprint": current[:12], "git_sha": "a" * 40}
+    assert stale_artifact_warning(short, "BENCH_exec.json") is None
+    # no recorded fingerprint at all: nothing to compare, stay silent
+    assert stale_artifact_warning({}, "BENCH_exec.json") is None
+
+
+def test_stale_artifact_warning_names_path_and_remedy():
+    baseline = {"code_fingerprint": "f" * 16, "git_sha": "b" * 40}
+    msg = stale_artifact_warning(baseline, "benchmarks/OLD.json")
+    assert msg is not None
+    assert "benchmarks/OLD.json" in msg
+    assert "stale" in msg
+    assert "regenerate" in msg
+    assert "bbbbbbbbbbbb" in msg  # the recorded git sha, shortened

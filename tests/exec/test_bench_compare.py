@@ -195,6 +195,44 @@ def test_median_fallback_for_schema1_baseline():
     assert report["regressions"] == []
 
 
+def test_median_fallback_for_schema2_doc_with_null_calibration():
+    # A schema-2 document whose host block exists but whose calibration
+    # microbenchmark was skipped (--no-calibrate) records null: the
+    # comparison must fall back to the median heuristic, not divide by
+    # the missing score.
+    current = {exp_id: s * 3 for exp_id, s in BASE.items()}
+    report = compare_bench(scored_doc(current, score=10.0),
+                           scored_doc(BASE, score=None))
+    assert report["normalization_mode"] == "median"
+    assert report["host_speed_factor"] == pytest.approx(3.0)
+    assert report["regressions"] == []
+
+
+def test_median_fallback_for_zero_calibration_score():
+    # a zero score (corrupt or hand-edited baseline) must never reach
+    # the division; both sides zero likewise
+    current = {exp_id: s * 3 for exp_id, s in BASE.items()}
+    report = compare_bench(scored_doc(current, score=10.0),
+                           scored_doc(BASE, score=0.0))
+    assert report["normalization_mode"] == "median"
+    assert report["regressions"] == []
+    report = compare_bench(scored_doc(current, score=0.0),
+                           scored_doc(BASE, score=0.0))
+    assert report["normalization_mode"] == "median"
+
+
+def test_no_calibration_and_few_experiments_disables_normalization():
+    # missing scores AND < 4 shared experiments: nothing to normalize
+    # with — mode "none", raw ratios drive the verdict
+    base = {"fig2": 0.5, "fig3": 1.0}
+    current = {"fig2": 1.5, "fig3": 3.0}
+    report = compare_bench(scored_doc(current, score=None),
+                           scored_doc(base, score=0.0))
+    assert report["normalization_mode"] == "none"
+    assert not report["normalized"]
+    assert report["regressions"] == ["fig2", "fig3"]
+
+
 def test_resolution_limited_rows_surface_in_markdown():
     current = bench_doc(BASE)
     current["experiments"]["fig2"][

@@ -196,3 +196,83 @@ def test_structured_log_lines_carry_trace_and_job_ids(tmp_path):
     done = next(line for line in lines if line["event"] == "job_done")
     assert done["experiment"] == "_srv_fast"
     assert done["wall_s"] >= 0
+
+
+# -- the longitudinal ledger ----------------------------------------------
+
+
+def test_ledger_attached_server_appends_lifetime_record(tmp_path):
+    """A --ledger server leaves the same longitudinal trace a bench run
+    does: one server-kind record at drain, gauges on the registry."""
+    from repro.obs.ledger import Ledger
+
+    ledger_path = tmp_path / "LEDGER.jsonl"
+    srv = ServerThread(workers=1, cache_dir=str(tmp_path / "cache"),
+                       ledger_path=str(ledger_path)).start()
+    try:
+        stats = srv.call(_stats_coro(srv))
+        assert stats["ledger"] == {"path": str(ledger_path),
+                                   "records": 0, "skipped": 0}
+        snapshot = stats["metrics"]
+        assert "repro_ledger_records" in snapshot
+        assert "repro_ledger_skipped_lines" in snapshot
+        with Client(srv.host, srv.port) as client:
+            client.submit("_srv_fast", quick=True).result()
+    finally:
+        srv.stop(drain=True)
+
+    records, skipped = Ledger(str(ledger_path)).read()
+    assert skipped == 0
+    assert len(records) == 1
+    rec = records[0]
+    assert rec["kind"] == "server"
+    assert rec["jobs"]["done"] == 1
+    latency = rec["job_latency"]["_srv_fast"]
+    assert latency["count"] == 1
+    assert latency["sum_s"] >= 0
+    assert rec["fabric"]["units_computed"] >= 1
+
+
+def test_ledger_gauges_reflect_existing_records(tmp_path):
+    from repro.obs.ledger import Ledger, fold_document
+
+    ledger_path = tmp_path / "LEDGER.jsonl"
+    doc = {"schema_version": 2, "generator": "repro.exec.bench",
+           "git_sha": None, "code_fingerprint": "ab" * 8,
+           "host": {"calibration_miters_s": 10.0},
+           "experiments": {"fig2": {"serial_s": 0.5}},
+           "totals": {"serial_s": 0.5}}
+    Ledger(str(ledger_path)).append(fold_document(doc))
+    with open(ledger_path, "a", encoding="utf-8") as fh:
+        fh.write('{"torn')  # a torn tail the gauges must count
+
+    srv = ServerThread(workers=1, cache_dir=str(tmp_path / "cache"),
+                       ledger_path=str(ledger_path)).start()
+    try:
+        stats = srv.call(_stats_coro(srv))
+        assert stats["ledger"]["records"] == 1
+        assert stats["ledger"]["skipped"] == 1
+        snapshot = stats["metrics"]
+        assert _gauge_value(snapshot["repro_ledger_records"]) == 1
+        assert _gauge_value(snapshot["repro_ledger_skipped_lines"]) == 1
+    finally:
+        srv.stop(drain=False)
+
+
+def test_server_without_ledger_reports_none_and_writes_nothing(
+        server, tmp_path):
+    stats = server.call(_stats_coro(server))
+    assert stats["ledger"] is None
+    assert not list(tmp_path.glob("*.jsonl"))
+
+
+async def _stats_async(srv):
+    return srv.server.stats()
+
+
+def _stats_coro(srv):
+    return _stats_async(srv)
+
+
+def _gauge_value(metric_doc):
+    return metric_doc["series"][0]["value"]

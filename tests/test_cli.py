@@ -424,3 +424,94 @@ def test_chaos_run_is_bit_identical_to_clean_serial(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "survived" in out
     assert "chaos faults injected" in out
+
+
+# -- the longitudinal ledger (python -m repro ledger / bench --ledger) ----
+
+
+def test_bench_ledger_flag_appends_record(tmp_path, capsys, monkeypatch):
+    from repro.obs.ledger import Ledger
+
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "bench.json"
+    ledger = tmp_path / "LEDGER.jsonl"
+    assert main(["bench", "--quick", "--jobs", "2",
+                 "--bench-out", str(out),
+                 "--bench-experiments", "table1,table2",
+                 "--ledger", str(ledger)]) == 0
+    stdout = capsys.readouterr().out
+    assert "ledger record appended to" in stdout
+    records, skipped = Ledger(str(ledger)).read()
+    assert (len(records), skipped) == (1, 0)
+    rec = records[0]
+    assert rec["kind"] == "bench"
+    assert set(rec["experiments"]) == {"table1", "table2"}
+    assert rec["git_dirty"] in (True, False, None)
+
+
+def test_bench_without_ledger_flag_writes_no_ledger(tmp_path,
+                                                    monkeypatch, capsys):
+    """Zero-cost when off: no --ledger, no ledger file anywhere."""
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--quick", "--jobs", "2",
+                 "--bench-out", str(out),
+                 "--bench-experiments", "table1"]) == 0
+    capsys.readouterr()
+    assert not list(tmp_path.rglob("*.jsonl"))
+    assert not (tmp_path / "benchmarks").exists()
+
+
+def test_bench_warns_when_existing_artifact_is_stale(tmp_path, capsys):
+    import json as _json
+
+    out = tmp_path / "bench.json"
+    out.write_text(_json.dumps({
+        "schema_version": 2, "generator": "repro.exec.bench",
+        "code_fingerprint": "f" * 16, "git_sha": "c" * 40,
+        "experiments": {}, "totals": {}}))
+    assert main(["bench", "--quick", "--jobs", "2",
+                 "--bench-out", str(out),
+                 "--bench-experiments", "table1"]) == 0
+    err = capsys.readouterr().err
+    assert "stale" in err and str(out) in err and "regenerate" in err
+
+
+def test_ledger_verb_dispatches(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    # empty ledger: actionable error, exit 2, names the feeder commands
+    assert main(["ledger", "show"]) == 2
+    err = capsys.readouterr().err
+    assert "bench --quick --ledger" in err
+
+    out = tmp_path / "bench.json"
+    ledger = tmp_path / "LEDGER.jsonl"
+    assert main(["bench", "--quick", "--jobs", "2",
+                 "--bench-out", str(out),
+                 "--bench-experiments", "table1,table2",
+                 "--ledger", str(ledger)]) == 0
+    capsys.readouterr()
+    assert main(["ledger", "show", "--ledger", str(ledger)]) == 0
+    assert "kind=bench" in capsys.readouterr().out
+    assert main(["ledger", "trend", "--ledger", str(ledger),
+                 "--metric", "serial_s"]) == 0
+    assert "serial_s" in capsys.readouterr().out
+    # one record: gate has no history -> trivial pass
+    assert main(["ledger", "gate", "--ledger", str(ledger),
+                 "--window", "5"]) == 0
+    assert "insufficient history" in capsys.readouterr().out
+
+
+def test_ledger_record_verb_folds_bench_json(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    ledger = tmp_path / "LEDGER.jsonl"
+    assert main(["bench", "--quick", "--jobs", "2",
+                 "--bench-out", str(out),
+                 "--bench-experiments", "table1"]) == 0
+    capsys.readouterr()
+    assert main(["ledger", "record", str(out),
+                 "--ledger", str(ledger)]) == 0
+    assert "appended bench record" in capsys.readouterr().out
+    assert main(["ledger", "record", str(out),
+                 "--ledger", str(ledger)]) == 0
+    assert "#2" in capsys.readouterr().out

@@ -57,6 +57,10 @@ def main(argv=None) -> int:
                         metavar="FRAC",
                         help="normalized slowdown ratio that counts as a "
                              "regression (default: 0.25 = 25%%)")
+    parser.add_argument("--ledger", metavar="PATH", default=None,
+                        help="also append the current document to the "
+                             "longitudinal performance ledger at PATH "
+                             "(see 'python -m repro ledger')")
     args = parser.parse_args(argv)
 
     _ensure_importable()
@@ -76,6 +80,17 @@ def main(argv=None) -> int:
         print(f"\nregression report written to {args.out}")
     else:
         print(md)
+    if args.ledger:
+        from repro.obs.ledger import Ledger, LedgerError, fold_document
+
+        try:
+            record = Ledger(args.ledger).append(
+                fold_document(current, source="bench_diff"))
+            print(f"ledger record appended to {args.ledger} "
+                  f"(sha256 {record['sha256'][:12]}…)")
+        except (LedgerError, OSError) as exc:
+            print(f"ledger: could not append to {args.ledger}: {exc}",
+                  file=sys.stderr)
     return 1 if report["regressions"] else 0
 
 
